@@ -1,0 +1,30 @@
+"""Design-choice ablations beyond the paper's figures (see DESIGN.md)."""
+
+from repro.analysis.experiments import (
+    ablation_cache_threshold,
+    ablation_circulant,
+    ablation_hds_chaining,
+)
+
+from benchmarks.conftest import SCALE, run_once
+
+
+def test_ablation_hds_chaining(benchmark):
+    result = run_once(benchmark, lambda: ablation_hds_chaining(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows
+
+
+def test_ablation_circulant(benchmark):
+    result = run_once(benchmark, lambda: ablation_circulant(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows
+
+
+def test_ablation_cache_threshold(benchmark):
+    result = run_once(benchmark, lambda: ablation_cache_threshold(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Figure 10 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig10
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig10(benchmark):
+    result = run_once(benchmark, lambda: fig10(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

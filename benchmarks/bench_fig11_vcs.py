@@ -1,0 +1,12 @@
+"""Figure 11 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig11
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, lambda: fig11(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 12 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig12
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig12(benchmark):
+    result = run_once(benchmark, lambda: fig12(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 13 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig13
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig13(benchmark):
+    result = run_once(benchmark, lambda: fig13(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 14 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig14
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig14(benchmark):
+    result = run_once(benchmark, lambda: fig14(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

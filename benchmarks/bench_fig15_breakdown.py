@@ -1,0 +1,12 @@
+"""Figure 15 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig15
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig15(benchmark):
+    result = run_once(benchmark, lambda: fig15(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 16 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig16
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig16(benchmark):
+    result = run_once(benchmark, lambda: fig16(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

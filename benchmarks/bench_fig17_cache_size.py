@@ -1,0 +1,12 @@
+"""Figure 17 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig17
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig17(benchmark):
+    result = run_once(benchmark, lambda: fig17(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 18 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig18
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig18(benchmark):
+    result = run_once(benchmark, lambda: fig18(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Figure 19 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import fig19
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_fig19(benchmark):
+    result = run_once(benchmark, lambda: fig19(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Table 2 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import table2
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, lambda: table2(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Table 3 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import table3
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, lambda: table3(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

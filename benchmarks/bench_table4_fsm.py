@@ -1,0 +1,12 @@
+"""Table 4 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import table4
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_table4(benchmark):
+    result = run_once(benchmark, lambda: table4(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,12 @@
+"""Table 5 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import table5
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, lambda: table5(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

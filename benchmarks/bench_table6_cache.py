@@ -1,0 +1,12 @@
+"""Table 6 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import table6
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_table6(benchmark):
+    result = run_once(benchmark, lambda: table6(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

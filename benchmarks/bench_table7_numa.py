@@ -1,0 +1,12 @@
+"""Table 7 (see DESIGN.md experiment index)."""
+
+from repro.analysis.experiments import table7
+
+from benchmarks.conftest import HEAVY, SCALE, run_once
+
+
+def test_table7(benchmark):
+    result = run_once(benchmark, lambda: table7(scale=SCALE))
+    print()
+    print(result.format())
+    assert result.rows, "experiment produced no rows"

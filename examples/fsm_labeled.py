@@ -1,0 +1,56 @@
+"""Frequent subgraph mining on a labeled graph (paper Section 7.2).
+
+Mines all labeled patterns with at most three edges whose MNI support
+clears a threshold — the Table 4 workload — on a labeled MiCo-like
+graph, distributed over 8 simulated nodes. Cross-checks the result
+against the pattern-oblivious Fractal-like baseline, which reaches the
+same answer by enumerating every subgraph and classifying it.
+
+Run:  python examples/fsm_labeled.py
+"""
+
+from repro.baselines import FractalLike
+from repro.cluster import ClusterConfig
+from repro.graph import dataset
+from repro.patterns.canonical import canonical_code
+from repro.systems import KAutomine, run_fsm
+
+THRESHOLD = 32
+
+
+def describe(pattern) -> str:
+    labels = ",".join(str(l) for l in (pattern.labels or ()))
+    return (
+        f"{pattern.num_vertices} vertices / {pattern.num_edges} edges, "
+        f"labels [{labels}]"
+    )
+
+
+def main() -> None:
+    graph = dataset("mico", scale=0.4, labeled=True)
+    print(f"input graph: {graph} "
+          f"({len(set(int(x) for x in graph.labels))} label classes)\n")
+
+    system = KAutomine(
+        graph, ClusterConfig(num_machines=8), graph_name="mico-analogue"
+    )
+    result = run_fsm(system, threshold=THRESHOLD)
+    print(
+        f"FSM(threshold={THRESHOLD}): {len(result.frequent)} frequent "
+        f"patterns in {result.rounds} growth rounds "
+        f"({result.candidates_evaluated} candidates evaluated, "
+        f"{result.report.simulated_seconds * 1e3:.2f}ms simulated)\n"
+    )
+    top = sorted(result.frequent, key=lambda ps: -ps[1])[:10]
+    for pattern, support in top:
+        print(f"  support={support:>4}  {describe(pattern)}")
+
+    # cross-check with the pattern-oblivious baseline
+    oblivious = FractalLike(graph).all_frequent(THRESHOLD)
+    aware = {(canonical_code(p), s) for p, s in result.frequent}
+    assert aware == {(canonical_code(p), s) for p, s in oblivious}
+    print("\ncross-checked against the pattern-oblivious Fractal baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Per-vertex analytics through UDFs: local clustering coefficients.
+
+GPM applications often need more than a global count. This example
+computes each vertex's triangle participation — and from it the local
+clustering coefficient — by attaching a user-defined function to the
+engine's match callback, exactly how the paper's applications consume
+embeddings ("the EXTEND function will ... call the user-defined
+function (UDF) to pass the identified embedding to the GPM
+application").
+
+Run:  python examples/local_clustering.py
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import KhuzdulEngine
+from repro.graph import dataset
+from repro.patterns import clique
+from repro.patterns.schedule import automine_schedule
+
+
+def main() -> None:
+    graph = dataset("mico", scale=0.5)
+    print(f"input graph: {graph}\n")
+    cluster = Cluster(graph, ClusterConfig(num_machines=4))
+    engine = KhuzdulEngine(cluster)
+
+    per_vertex = np.zeros(graph.num_vertices, dtype=np.int64)
+
+    def count_per_vertex(prefix: tuple[int, ...], candidates: np.ndarray):
+        # every match (v0, v1, c) is one triangle for each participant
+        for v in prefix:
+            per_vertex[v] += len(candidates)
+        np.add.at(per_vertex, candidates, 1)
+
+    report = engine.run(
+        automine_schedule(clique(3)), udf=count_per_vertex, app="local-TC"
+    )
+    # each triangle has three corners
+    assert per_vertex.sum() == 3 * report.counts
+
+    degrees = graph.degrees()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        wedge_counts = degrees * (degrees - 1) / 2
+        coefficients = np.where(
+            wedge_counts > 0, per_vertex / wedge_counts, 0.0
+        )
+
+    print(f"{report.counts} triangles "
+          f"({report.simulated_seconds * 1e3:.2f}ms simulated)")
+    print(f"average clustering coefficient: {coefficients.mean():.4f}")
+    top = np.argsort(-per_vertex)[:5]
+    print("\nmost clustered vertices:")
+    for v in top:
+        print(
+            f"  vertex {int(v):>4}: degree={int(degrees[v]):>3} "
+            f"triangles={int(per_vertex[v]):>5} "
+            f"coefficient={coefficients[v]:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Motif census: the network-analysis workload from the paper's intro.
+
+Counts every 3-vertex and 4-vertex motif (vertex-induced) on a
+Twitter-like graph — the kind of census used for network fingerprinting
+and attack detection. Runs both client systems (k-Automine and
+k-GraphPi) to show that their different matching-order compilers yield
+identical counts with different schedules.
+
+Run:  python examples/motif_census.py
+"""
+
+from repro.cluster import ClusterConfig
+from repro.graph import dataset
+from repro.patterns import motifs
+from repro.patterns.canonical import canonical_code
+from repro.systems import KAutomine, KGraphPi, motif_count
+
+MOTIF_NAMES_3 = {
+    2: "wedge (path)",
+    3: "triangle",
+}
+MOTIF_NAMES_4 = {
+    3: "tree",
+    4: "cycle-ish",
+    5: "diamond",
+    6: "4-clique",
+}
+
+
+def main() -> None:
+    graph = dataset("friendster", scale=0.2)
+    print(f"input graph: {graph}\n")
+    cluster = ClusterConfig(num_machines=8)
+    automine = KAutomine(graph, cluster, graph_name="fr-analogue")
+    graphpi = KGraphPi(graph, cluster, graph_name="fr-analogue")
+
+    for k in (3, 4):
+        print(f"-- size-{k} motif census --")
+        report_a = motif_count(automine, k)
+        report_g = motif_count(graphpi, k)
+        assert report_a.counts == report_g.counts, "systems disagree!"
+        for pattern in motifs(k):
+            code = canonical_code(pattern)
+            count = report_a.counts[code]
+            shape = f"{pattern.num_vertices}v/{pattern.num_edges}e"
+            print(f"  motif {shape:7} count={count:>10}")
+        total = sum(report_a.counts.values())
+        print(f"  total connected {k}-vertex subgraphs: {total}")
+        print(
+            f"  k-automine {report_a.simulated_seconds * 1e3:.2f}ms vs "
+            f"k-graphpi {report_g.simulated_seconds * 1e3:.2f}ms "
+            f"(simulated)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

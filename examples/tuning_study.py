@@ -1,0 +1,71 @@
+"""Tuning study: how Khuzdul's knobs move traffic and runtime.
+
+A miniature version of the paper's Section 7.3/7.6 analyses on one
+workload (4-clique counting on a LiveJournal-like graph): toggles
+vertical computation sharing, horizontal data sharing, the static
+cache (and its replacement-policy alternatives), and NUMA awareness,
+and prints the effect of each.
+
+Run:  python examples/tuning_study.py
+"""
+
+from repro.cluster import ClusterConfig
+from repro.core import EngineConfig
+from repro.core.cache import CachePolicy
+from repro.graph import dataset
+from repro.systems import KGraphPi, clique_count
+
+GRAPH = "livejournal"
+CHUNK = 16 << 10  # small chunks so cross-chunk cache effects are visible
+
+
+def run(engine_config: EngineConfig, machines: int = 8):
+    graph = dataset(GRAPH, scale=0.5)
+    system = KGraphPi(
+        graph,
+        ClusterConfig(num_machines=machines, sockets_per_machine=2),
+        engine_config,
+        graph_name=GRAPH,
+    )
+    return clique_count(system, 4)
+
+
+def show(label: str, report, baseline=None) -> None:
+    line = (
+        f"{label:<28} time={report.simulated_seconds * 1e3:8.3f}ms "
+        f"traffic={report.network_bytes / 1024:9.1f}KB"
+    )
+    if baseline is not None:
+        line += (
+            f"  ({baseline.simulated_seconds / report.simulated_seconds:.2f}x"
+            f" vs baseline)"
+        )
+    print(line)
+
+
+def main() -> None:
+    baseline = run(EngineConfig(chunk_bytes=CHUNK))
+    show("all optimizations on", baseline)
+    assert baseline.counts is not None
+
+    for label, config in [
+        ("no vertical comp. sharing", EngineConfig(chunk_bytes=CHUNK, vcs=False)),
+        ("no horizontal sharing", EngineConfig(chunk_bytes=CHUNK, hds=False)),
+        ("no static cache", EngineConfig(chunk_bytes=CHUNK, cache_fraction=0.0)),
+        ("LRU cache instead", EngineConfig(chunk_bytes=CHUNK,
+                                           cache_policy=CachePolicy.LRU)),
+        ("NUMA-oblivious", EngineConfig(chunk_bytes=CHUNK, numa_aware=False)),
+        ("tiny chunks (2KB)", EngineConfig(chunk_bytes=2048)),
+    ]:
+        report = run(config)
+        assert report.counts == baseline.counts, "ablations must not change counts"
+        show(label, report, baseline)
+
+    print("\n-- node scaling (same workload) --")
+    for machines in (1, 2, 4, 8):
+        report = run(EngineConfig(chunk_bytes=CHUNK), machines=machines)
+        show(f"{machines} node(s)", report)
+
+
+if __name__ == "__main__":
+    main()

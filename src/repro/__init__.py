@@ -1,0 +1,42 @@
+"""Khuzdul reproduction: distributed graph pattern mining on a simulated cluster.
+
+Reproduction of *Khuzdul: Efficient and Scalable Distributed Graph
+Pattern Mining Engine* (Chen & Qian, ASPLOS 2023). The package provides
+
+- :mod:`repro.graph` — CSR graphs, synthetic dataset analogues, 1-D
+  hash partitioning, orientation preprocessing;
+- :mod:`repro.patterns` — pattern graphs, isomorphism, symmetry-breaking
+  restrictions, Automine/GraphPi matching-order schedules;
+- :mod:`repro.cluster` — the simulated distributed cluster (machines,
+  clock buckets, network traffic accounting);
+- :mod:`repro.core` — the paper's contribution: extendable embeddings,
+  the EXTEND interface, BFS-DFS hybrid chunked exploration with
+  circulant scheduling, HDS, the static data cache, and the engine;
+- :mod:`repro.systems` — the two client systems (k-Automine,
+  k-GraphPi) and the GPM applications (TC, k-CC, k-MC, FSM);
+- :mod:`repro.baselines` — the systems the paper compares against
+  (G-thinker, replicated GraphPi, single-machine systems, aDFS-like,
+  Fractal-like);
+- :mod:`repro.analysis` — brute-force validation and table/figure
+  reporting.
+"""
+
+from repro.cluster import Cluster, ClusterConfig, CostModel
+from repro.core import EngineConfig, KhuzdulEngine, RunReport
+from repro.graph import Graph, dataset
+from repro.patterns import Pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "CostModel",
+    "EngineConfig",
+    "KhuzdulEngine",
+    "RunReport",
+    "Graph",
+    "dataset",
+    "Pattern",
+    "__version__",
+]

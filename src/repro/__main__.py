@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+Usage:
+
+    python -m repro count --graph livejournal --pattern clique4
+    python -m repro motifs --graph mico --size 3 --machines 8
+    python -m repro fsm --graph mico --threshold 30
+    python -m repro experiment table2 --scale 0.5
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import EXPERIMENTS, run_experiment
+from repro.cluster import ClusterConfig
+from repro.graph import dataset
+from repro.graph.datasets import DATASETS
+from repro.patterns import catalog
+from repro.patterns.pattern import Pattern
+from repro.systems import KAutomine, KGraphPi, motif_count, run_fsm
+
+
+def _parse_pattern(spec: str) -> Pattern:
+    """Parse a pattern spec: clique3..7, chain2..7, cycle3..7, starN,
+    house, tailed_triangle, or an explicit edge list ' 0-1,1-2,0-2 '."""
+    for prefix, fn in (
+        ("clique", catalog.clique),
+        ("chain", catalog.chain),
+        ("cycle", catalog.cycle),
+        ("star", catalog.star),
+    ):
+        if spec.startswith(prefix) and spec[len(prefix):].isdigit():
+            return fn(int(spec[len(prefix):]))
+    if spec == "house":
+        return catalog.house()
+    if spec == "tailed_triangle":
+        return catalog.tailed_triangle()
+    if "-" in spec:
+        edges = []
+        for part in spec.split(","):
+            u, v = part.split("-")
+            edges.append((int(u), int(v)))
+        size = max(max(e) for e in edges) + 1
+        return Pattern(size, edges)
+    raise SystemExit(f"unrecognized pattern spec {spec!r}")
+
+
+def _build_system(args):
+    graph = dataset(args.graph, scale=args.scale,
+                    labeled=getattr(args, "labeled", False))
+    config = ClusterConfig(
+        num_machines=args.machines,
+        cores_per_machine=args.cores,
+        sockets_per_machine=args.sockets,
+    )
+    cls = KGraphPi if args.system == "k-graphpi" else KAutomine
+    return cls(graph, config, graph_name=args.graph)
+
+
+def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", default="livejournal",
+                        choices=sorted(DATASETS))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--machines", type=int, default=8)
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--sockets", type=int, default=2)
+    parser.add_argument("--system", default="k-automine",
+                        choices=["k-automine", "k-graphpi"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Khuzdul (ASPLOS'23) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="count one pattern's embeddings")
+    _add_cluster_flags(count)
+    count.add_argument("--pattern", default="clique3")
+    count.add_argument("--induced", action="store_true")
+    count.add_argument("--oriented", action="store_true",
+                       help="degree-orientation preprocessing (cliques)")
+
+    motifs = sub.add_parser("motifs", help="k-motif census")
+    _add_cluster_flags(motifs)
+    motifs.add_argument("--size", type=int, default=3)
+
+    fsm = sub.add_parser("fsm", help="frequent subgraph mining")
+    _add_cluster_flags(fsm)
+    fsm.add_argument("--threshold", type=int, required=True)
+    fsm.add_argument("--max-edges", type=int, default=3)
+    fsm.set_defaults(labeled=True)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("datasets", help="list dataset analogues")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "datasets":
+        print(f"{'name':<14}{'|V|':>8}{'|E|':>9}  paper size")
+        for name, spec in sorted(DATASETS.items()):
+            print(
+                f"{name:<14}{spec.num_vertices:>8}{spec.num_edges:>9}  "
+                f"{spec.paper_vertices:.3g} vertices / "
+                f"{spec.paper_edges:.3g} edges"
+            )
+        return 0
+
+    if args.command == "experiment":
+        result = run_experiment(args.name, scale=args.scale)
+        print(result.format())
+        return 0
+
+    if args.command == "count":
+        system = _build_system(args)
+        pattern = _parse_pattern(args.pattern)
+        report = system.count_pattern(
+            pattern, induced=args.induced, oriented=args.oriented,
+            app=args.pattern,
+        )
+        print(report.describe())
+        print("breakdown:", {k: f"{v:.1%}"
+                             for k, v in report.breakdown_fractions().items()})
+        return 0
+
+    if args.command == "motifs":
+        system = _build_system(args)
+        report = motif_count(system, args.size)
+        for code, value in report.counts.items():
+            labels, edges = code
+            print(f"  {len(labels)}v/{len(edges)}e {edges}: {value}")
+        print(f"simulated: {report.simulated_seconds * 1e3:.3f}ms")
+        return 0
+
+    if args.command == "fsm":
+        system = _build_system(args)
+        result = run_fsm(system, args.threshold, args.max_edges)
+        print(
+            f"{len(result.frequent)} frequent patterns "
+            f"({result.candidates_evaluated} candidates, "
+            f"{result.rounds} rounds)"
+        )
+        for pattern, support in sorted(result.frequent, key=lambda x: -x[1])[:20]:
+            print(f"  support={support:<6} {pattern}")
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

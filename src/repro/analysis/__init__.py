@@ -1,0 +1,5 @@
+"""Analysis utilities: reference counters and experiment reporting."""
+
+from repro.analysis.brute_force import count_embeddings_brute_force
+
+__all__ = ["count_embeddings_brute_force"]

@@ -1,0 +1,91 @@
+"""Experiment result tables.
+
+The benchmark harness produces :class:`ExperimentResult` objects — one
+per paper table/figure — which render as aligned text tables (the same
+rows/series the paper reports) and serialize to dicts for EXPERIMENTS.md
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.runtime import format_bytes, format_seconds
+
+
+def format_cell(value: Any) -> str:
+    """Render one table cell: times, bytes tuples, failures, numbers."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return format_seconds(value)
+    if isinstance(value, tuple) and len(value) == 2 and value[0] == "bytes":
+        return format_bytes(value[1])
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment: str  # e.g. "Table 2"
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Aligned text rendering of the table."""
+        header = [self.columns]
+        body = [
+            [format_cell(row.get(col)) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(line[i]) for line in header + body)
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(
+            "  ".join(col.ljust(w) for col, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append(
+                "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def row_value(self, col: str, **selector: Any) -> Any:
+        """Value of ``col`` in the unique row matching ``selector``."""
+        matches = [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in selector.items())
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"selector {selector} matched {len(matches)} rows"
+            )
+        return matches[0][col]
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (for EXPERIMENTS.md)."""
+        lines = [f"### {self.experiment}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(format_cell(row.get(c)) for c in self.columns)
+                + " |"
+            )
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*Note: {note}*")
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Shared recursive tree exploration for the baseline systems.
+
+The baselines explore whole embedding trees per root (the coarse task
+granularity of G-thinker, GraphPi, and the single-machine systems)
+instead of Khuzdul's fine-grained chunked tasks. This module provides
+that depth-first exploration on top of the same candidate kernel the
+engine uses, with hooks for each baseline's cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.extend import ScheduleExtender
+from repro.graph.graph import Graph
+
+#: Hook called for every created child: (level, new_vertex, needs_fetch).
+ChildHook = Callable[[int, int, bool], None]
+#: State-threading hook for baselines that track per-path state (e.g.
+#: the task's current machine in moving-computation systems):
+#: (level, new_vertex, needs_fetch, prefix, parent_state) -> child_state.
+ChildStateHook = Callable[[int, int, bool, tuple[int, ...], object], object]
+#: Hook called for every completed embedding batch: (prefix, candidates).
+MatchHook = Callable[[tuple[int, ...], np.ndarray], None]
+
+
+@dataclass
+class ExploreStats:
+    """Work performed while exploring one (or more) embedding trees."""
+
+    matches: int = 0
+    merge_elements: int = 0
+    scanned: int = 0
+    created: int = 0
+    #: number of embeddings alive per level at the widest point; used by
+    #: BFS-materializing baselines (Pangolin) for memory estimates
+    level_widths: dict[int, int] = field(default_factory=dict)
+
+    def compute_seconds(self, cost) -> float:
+        """Pure enumeration compute time under a cost model."""
+        return (
+            self.merge_elements * cost.intersect_per_element
+            + self.scanned * cost.emit_per_candidate
+            + self.created * cost.embedding_create
+        )
+
+
+class RecursiveExplorer:
+    """Depth-first whole-tree exploration from a root vertex."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        extender: ScheduleExtender,
+        on_child: Optional[ChildHook] = None,
+        on_match: Optional[MatchHook] = None,
+        on_child_state: Optional[ChildStateHook] = None,
+    ):
+        self.graph = graph
+        self.extender = extender
+        self.on_child = on_child
+        self.on_match = on_match
+        self.on_child_state = on_child_state
+        self._intermediates: list[Optional[np.ndarray]] = [None] * (
+            extender.final_level + 1
+        )
+
+    def explore_root(
+        self, root: int, stats: ExploreStats, state: object = None
+    ) -> None:
+        """Explore the entire embedding tree rooted at ``root``."""
+        if self.extender.final_level == 0:
+            stats.matches += 1
+            return
+        self._descend((int(root),), 1, stats, state)
+
+    # ------------------------------------------------------------------
+    def _descend(
+        self,
+        vertices: tuple[int, ...],
+        level: int,
+        stats: ExploreStats,
+        state: object,
+    ) -> None:
+        result = self.extender.extend_level(
+            self.graph, vertices, level, self._lookup_intermediate
+        )
+        stats.merge_elements += result.merge_elements
+        stats.scanned += result.scanned
+        width = len(result.candidates)
+        stats.level_widths[level] = stats.level_widths.get(level, 0) + width
+        if level == self.extender.final_level:
+            stats.matches += width
+            if self.on_match is not None and width:
+                self.on_match(vertices, result.candidates)
+            return
+        needs_fetch = self.extender.needs_edge_list(level)
+        previous = self._intermediates[level]
+        self._intermediates[level] = result.raw if self.extender.vcs else None
+        for v in result.candidates:
+            stats.created += 1
+            child_state = state
+            if self.on_child is not None:
+                self.on_child(level, int(v), needs_fetch)
+            if self.on_child_state is not None:
+                child_state = self.on_child_state(
+                    level, int(v), needs_fetch, vertices, state
+                )
+            self._descend(vertices + (int(v),), level + 1, stats, child_state)
+        self._intermediates[level] = previous
+
+    def _lookup_intermediate(self, level: int) -> Optional[np.ndarray]:
+        return self._intermediates[level]
+
+
+def khop_ball(graph: Graph, root: int, hops: int) -> np.ndarray:
+    """Vertices within ``hops`` of ``root`` (G-thinker's prefetch set).
+
+    The returned set is exactly the vertices whose edge lists a k-hop
+    subgraph fetch materializes before the tree exploration starts.
+    """
+    ball = np.array([root], dtype=np.int64)
+    frontier = ball
+    for _ in range(hops):
+        if not len(frontier):
+            break
+        neighbor_lists = [graph.neighbors(int(v)) for v in frontier]
+        if not neighbor_lists:
+            break
+        expanded = np.unique(np.concatenate(neighbor_lists))
+        frontier = np.setdiff1d(expanded, ball, assume_unique=True)
+        ball = np.union1d(ball, frontier)
+    return ball

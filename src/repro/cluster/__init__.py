@@ -1,0 +1,27 @@
+"""Simulated distributed cluster substrate.
+
+The paper runs on an 8-node InfiniBand cluster; this package replaces
+that hardware with a deterministic simulation. A :class:`Cluster` owns a
+set of :class:`MachineState` objects (per-machine clock buckets, memory
+accounting, NUMA sockets) and a :class:`NetworkModel` (latency +
+bandwidth + per-message cost, full traffic accounting). Engines charge
+every mechanism they execute — intersections, task scheduling, cache
+bookkeeping, edge-list fetches — to these clocks, and a run's simulated
+time is the maximum machine clock, so architectural comparisons (the
+paper's tables and figures) are reproduced by the same cost events the
+real engine pays for.
+"""
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.network import NetworkModel
+from repro.cluster.machine import ClockBuckets, MachineState
+from repro.cluster.cluster import Cluster, ClusterConfig
+
+__all__ = [
+    "CostModel",
+    "NetworkModel",
+    "ClockBuckets",
+    "MachineState",
+    "Cluster",
+    "ClusterConfig",
+]

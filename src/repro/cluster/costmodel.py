@@ -1,0 +1,136 @@
+"""Cost-model constants for the simulated cluster.
+
+All times are simulated seconds. The defaults describe a machine in the
+paper's evaluation cluster (two 8-core Xeon sockets, 56Gbps InfiniBand)
+at the granularity the engines need: per-element intersection cost,
+per-task bookkeeping, per-message network cost, and the cache
+bookkeeping costs that differentiate Khuzdul's static cache from the
+replacement policies of Figure 16 and from G-thinker's general cache.
+
+The absolute values are plausible for commodity hardware (~1e9 simple
+memory-streaming ops per core-second), but what the reproduction relies
+on is their *ratios*: fine-grained task overhead vs. intersection work,
+map-maintenance cost vs. network transfer, and so on, which produce the
+paper's breakdowns and speedup shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Constants used to charge simulated time. See module docstring."""
+
+    # ---------------- computation -------------------------------------
+    #: Seconds per element streamed through a merge intersection.
+    intersect_per_element: float = 1.2e-9
+    #: Seconds per candidate emitted (filtering, bounds checks).
+    emit_per_candidate: float = 4.0e-9
+    #: Seconds to materialize one new extendable embedding.
+    embedding_create: float = 1.5e-8
+
+    # ---------------- Khuzdul scheduling -------------------------------
+    #: Per-fine-grained-task scheduling cost (queue push/pop, state flip).
+    task_schedule: float = 1.0e-8
+    #: Per-mini-batch distribution cost (64 embeddings per mini-batch).
+    mini_batch_dispatch: float = 2.0e-8
+    #: Embeddings per mini-batch (Section 6).
+    mini_batch_size: int = 64
+    #: Fixed per-chunk cost (allocate chunk memory, shuffle into batches).
+    chunk_setup: float = 2.0e-7
+    #: Per-pattern engine start-up cost (chunk allocators, schedules);
+    #: the reason k-Automine loses to AutomineIH on FSM (Table 4).
+    engine_startup: float = 5.0e-6
+
+    # ---------------- network ------------------------------------------
+    #: Bytes per second on the wire (56 Gbps InfiniBand ~ 7 GB/s).
+    network_bandwidth: float = 7.0e9
+    #: One-way latency charged per communication batch.
+    batch_latency: float = 1.0e-7
+    #: Per-request header bytes (vertex id + bookkeeping).
+    request_header_bytes: int = 16
+    #: Responder-side cost per byte copied into the send buffer; this is
+    #: what makes Patents' many tiny requests network-inefficient (Fig 19).
+    serve_per_byte: float = 2.5e-10
+    #: Responder-side fixed cost per served request.
+    serve_per_request: float = 1.0e-7
+
+    # ---------------- static cache (Section 5.3) -----------------------
+    #: Cost of one cache query (hash probe).
+    cache_query: float = 1.5e-8
+    #: Cost of one insert into the static (no-replacement) cache.
+    cache_insert_static: float = 8.0e-8
+    #: Extra per-access policy maintenance for replacement policies
+    #: (LRU/MRU list surgery, FIFO/LIFO queue updates).
+    cache_policy_update: float = 1.2e-7
+    #: Dynamic allocation cost per insert/evict for replacement policies
+    #: (general-purpose malloc/free instead of a fixed-size pool).
+    cache_dynamic_alloc: float = 9.0e-7
+    #: Fragmentation growth: each evict/insert pair inflates subsequent
+    #: allocation costs by this fraction, capped at 4x (Section 7.6).
+    cache_fragmentation_rate: float = 2.0e-6
+    #: Query slows down once the cache spills out of the CPU L3 slice
+    #: (the 6-8% regression at 50% cache size in Figure 17).
+    l3_bytes: int = 64 << 10
+    cache_l3_spill_penalty: float = 0.6
+
+    # ---------------- horizontal data sharing (Section 5.2) ------------
+    #: Cost of one probe/insert in the collision-dropping hash table.
+    hds_probe: float = 1.0e-8
+
+    # ---------------- NUMA (Section 5.4) --------------------------------
+    #: Fraction of memory traffic that crosses sockets when the engine is
+    #: NUMA-oblivious on a 2-socket node.
+    numa_cross_fraction: float = 0.5
+    #: Slowdown of a cross-socket memory access relative to local.
+    numa_remote_penalty: float = 0.6
+
+    # ---------------- threading (Section 6) -----------------------------
+    #: Parallel efficiency of dividing chunk work over computation threads.
+    thread_efficiency: float = 0.90
+    #: Communication threads per node are 1/4 of cores (1:3 ratio).
+    comm_thread_ratio: float = 0.25
+
+    # ---------------- G-thinker baseline --------------------------------
+    #: Task<->data map maintenance per requested edge list (Section 1:
+    #: "when a task requests an edge list ... the map needs to be
+    #: updated").
+    gthinker_map_update: float = 4.0e-7
+    #: Scheduler poll per task per scheduling round ("periodically checks
+    #: whether the edge lists needed by each task are ready").
+    gthinker_task_poll: float = 8.0e-7
+    #: Per-request data-readiness check by the scheduler ("periodically
+    #: checks whether the edge lists needed by each task is ready").
+    gthinker_readiness_check: float = 4.5e-7
+    #: G-thinker explores trees through generic task/UDF plumbing rather
+    #: than compiled loops; its per-unit enumeration work costs more.
+    gthinker_compute_multiplier: float = 3.0
+    #: Cache GC scan cost per cached entry per round.
+    gthinker_gc_per_entry: float = 1.0e-7
+    #: Number of scheduler/GC rounds a task lives through on average.
+    gthinker_poll_rounds: int = 4
+    #: Maximum concurrently active tasks (embedding trees).
+    gthinker_max_concurrency: int = 300
+    #: Minimum concurrency below which G-thinker cannot make progress
+    #: (its prefetch pipeline deadlocks / the run is reported CRASHED).
+    gthinker_min_concurrency: int = 64
+
+    # ---------------- replicated-graph GraphPi baseline -----------------
+    #: Fixed start-up of GraphPi's task partitioning/distribution phase.
+    graphpi_startup: float = 8.0e-5
+    #: Additional start-up per node (distribution handshakes).
+    graphpi_startup_per_node: float = 5.0e-6
+
+    # ---------------- moving-computation (aDFS) baseline ----------------
+    #: Serialization cost per byte of shipped partial embedding state.
+    ship_per_byte: float = 4.0e-10
+
+    def derive(self, **overrides) -> "CostModel":
+        """A copy with some constants replaced (ablation benches)."""
+        return replace(self, **overrides)
+
+
+#: Cost model used by default everywhere.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,159 @@
+"""Graph-data caches: the static cache and the replacement policies.
+
+Khuzdul's static cache (paper Section 5.3) admits a fetched edge list
+only while it has free space and only for vertices above a degree
+threshold, and never evicts. That makes every operation a plain hash
+probe — no recency lists, no refcounts, no dynamic allocation.
+
+Figure 16's study compares it against FIFO/LIFO/LRU/MRU replacement
+policies, which (per Section 7.6) pay for continuous policy
+maintenance *and* for general-purpose dynamic memory management whose
+fragmentation grows over the run. Both cost channels are modelled here
+and charged through :meth:`EdgeCache.drain_cost`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import Enum
+
+from repro.cluster.costmodel import CostModel
+
+
+class CachePolicy(Enum):
+    STATIC = "static"
+    FIFO = "fifo"
+    LIFO = "lifo"
+    LRU = "lru"
+    MRU = "mru"
+
+
+class EdgeCache:
+    """A per-machine (or per-socket) cache of remote edge lists.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Cache budget; the paper uses 5-15% of the graph size per node.
+    degree_threshold:
+        Minimum degree for admission under the STATIC policy ("first
+        accessed first cached with threshold"); replacement policies
+        admit everything, as general caches do.
+    policy:
+        One of :class:`CachePolicy`.
+    cost:
+        Cost model supplying the bookkeeping constants.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        degree_threshold: int,
+        policy: CachePolicy,
+        cost: CostModel,
+    ):
+        self.capacity_bytes = capacity_bytes
+        self.degree_threshold = degree_threshold
+        self.policy = policy
+        self.cost = cost
+        self._entries: OrderedDict[int, int] = OrderedDict()  # vertex -> bytes
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+        self._pending_cost = 0.0
+        self._fragmentation = 0.0  # grows with churn, capped at 3x extra
+
+    # ------------------------------------------------------------------
+    def _query_cost(self) -> float:
+        """Hash-probe cost, inflated once the cache spills out of L3."""
+        spill = min(1.0, self.used_bytes / max(1, self.cost.l3_bytes))
+        return self.cost.cache_query * (
+            1.0 + self.cost.cache_l3_spill_penalty * spill
+        )
+
+    def _alloc_cost(self) -> float:
+        """Dynamic-allocation cost for replacement policies (Section 7.6)."""
+        return self.cost.cache_dynamic_alloc * (1.0 + self._fragmentation)
+
+    # ------------------------------------------------------------------
+    def query(self, vertex: int) -> bool:
+        """Probe for ``vertex``; returns hit/miss and charges query cost."""
+        self._pending_cost += self._query_cost()
+        if vertex in self._entries:
+            self.hits += 1
+            if self.policy in (CachePolicy.LRU, CachePolicy.MRU):
+                # recency maintenance on every touch
+                self._entries.move_to_end(vertex)
+                self._pending_cost += self.cost.cache_policy_update
+            return True
+        self.misses += 1
+        return False
+
+    def admit(self, vertex: int, num_bytes: int, degree: int) -> bool:
+        """Offer a just-fetched edge list to the cache.
+
+        Returns ``True`` if the list was inserted (it then stays resident
+        and does not occupy chunk memory).
+        """
+        if vertex in self._entries:
+            return True
+        if self.policy is CachePolicy.STATIC:
+            if degree < self.degree_threshold:
+                return False
+            if self.used_bytes + num_bytes > self.capacity_bytes:
+                return False  # full: never insert again, never evict
+            self._entries[vertex] = num_bytes
+            self.used_bytes += num_bytes
+            self.inserts += 1
+            self._pending_cost += self.cost.cache_insert_static
+            return True
+
+        # Replacement policies admit everything that can fit at all.
+        if num_bytes > self.capacity_bytes:
+            return False
+        while self.used_bytes + num_bytes > self.capacity_bytes:
+            self._evict_one()
+        self._entries[vertex] = num_bytes
+        self.used_bytes += num_bytes
+        self.inserts += 1
+        self._pending_cost += self.cost.cache_policy_update + self._alloc_cost()
+        self._fragmentation = min(
+            3.0, self._fragmentation + self.cost.cache_fragmentation_rate
+        )
+        return True
+
+    def _evict_one(self) -> None:
+        if self.policy is CachePolicy.FIFO:
+            victim = next(iter(self._entries))
+        elif self.policy is CachePolicy.LIFO:
+            victim = next(reversed(self._entries))
+        elif self.policy is CachePolicy.LRU:
+            victim = next(iter(self._entries))  # least recently touched
+        elif self.policy is CachePolicy.MRU:
+            victim = next(reversed(self._entries))  # most recently touched
+        else:  # pragma: no cover - STATIC never evicts
+            raise AssertionError("static cache must not evict")
+        self.used_bytes -= self._entries.pop(victim)
+        self.evictions += 1
+        self._pending_cost += self._alloc_cost()
+        self._fragmentation = min(
+            3.0, self._fragmentation + self.cost.cache_fragmentation_rate
+        )
+
+    # ------------------------------------------------------------------
+    def drain_cost(self) -> float:
+        """Accumulated bookkeeping seconds since the last drain."""
+        cost, self._pending_cost = self._pending_cost, 0.0
+        return cost
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

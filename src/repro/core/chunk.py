@@ -1,0 +1,87 @@
+"""Chunks: fixed-size groups of same-level extendable embeddings.
+
+A chunk (paper Section 4.2) is the unit of the BFS-DFS hybrid: BFS
+within a chunk provides concurrency for batched communication, DFS
+between chunks bounds memory to one chunk per tree level. Chunk memory
+is allocated and released as a whole, which is the fragmentation-free
+allocation story of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import MachineState
+from repro.core.embedding import ExtendableEmbedding
+
+
+class Chunk:
+    """A bounded buffer of extendable embeddings at one tree level.
+
+    With ``preallocate=True`` (what the scheduler uses for level chunks)
+    the chunk reserves its whole fixed memory up front, exactly as
+    Section 4.2 describes ("a fixed amount of memory is pre-allocated").
+    That is what makes oversized chunks exhaust a machine's memory at
+    chunk-creation time — the OOM of Figure 18. Contents that overflow
+    the reservation (fetched edge lists larger than expected) are
+    charged incrementally on top.
+    """
+
+    def __init__(
+        self,
+        level: int,
+        capacity_bytes: int,
+        machine: MachineState,
+        preallocate: bool = False,
+    ):
+        self.level = level
+        self.capacity_bytes = capacity_bytes
+        self.machine = machine
+        self.items: list[ExtendableEmbedding] = []
+        self.used_bytes = 0
+        self._reserved = capacity_bytes if preallocate else 0
+        self._released = False
+        if self._reserved:
+            machine.allocate(self._reserved)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        """Whether the chunk's pre-allocated memory is exhausted."""
+        return self.used_bytes >= self.capacity_bytes
+
+    def _grow(self, extra: int) -> None:
+        new_used = self.used_bytes + extra
+        if new_used > self._reserved:
+            self.machine.allocate(new_used - self._reserved)
+            self._reserved = new_used
+        self.used_bytes = new_used
+
+    def add(self, embedding: ExtendableEmbedding) -> None:
+        """Append one embedding, charging its bytes to the machine."""
+        self.items.append(embedding)
+        self._grow(embedding.stored_bytes)
+
+    def charge_extra(self, embedding: ExtendableEmbedding, extra: int) -> None:
+        """Grow an already-added embedding (fetched list, intermediate)."""
+        embedding.stored_bytes += extra
+        self._grow(extra)
+
+    def refund(self, embedding: ExtendableEmbedding, amount: int) -> None:
+        """Return reserved bytes (a fetch was satisfied without storage:
+        local pointer, HDS share, or cache residence)."""
+        amount = min(amount, embedding.stored_bytes)
+        embedding.stored_bytes -= amount
+        self.used_bytes -= amount
+        if self._reserved > max(self.capacity_bytes, self.used_bytes):
+            give_back = self._reserved - max(self.capacity_bytes,
+                                             self.used_bytes)
+            self.machine.release(give_back)
+            self._reserved -= give_back
+
+    def release(self) -> None:
+        """Free the whole chunk at once (DFS backtrack, Section 4.2)."""
+        if not self._released:
+            self.machine.release(self._reserved)
+            self.items.clear()
+            self._released = True

@@ -1,0 +1,144 @@
+"""Extendable embeddings (paper Section 3).
+
+An extendable embedding is a partially-constructed embedding plus the
+active edge lists needed for its next extension. Vertical data sharing
+(Section 5.1) is realized exactly as in the paper: a child stores only
+its *new* vertex (and, when the schedule says so, a reusable
+intermediate intersection result) and reaches everything else through
+its parent pointer.
+
+The edge-list *arrays* themselves are CSR slices of the shared graph —
+in the simulation a "fetch" moves accounting state (traffic, cache,
+chunk memory), never data — so the embedding records *where* each list
+came from rather than a copy of it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.core.states import EmbeddingState
+
+#: Bookkeeping bytes per embedding: new vertex id, parent pointer,
+#: state/level fields (paper Section 5.1's hierarchical representation).
+EMBEDDING_BASE_BYTES = 24
+
+
+class EdgeListSource(Enum):
+    """Where an embedding's active edge list came from (accounting)."""
+
+    NONE = "none"  # the new vertex's list is not active
+    LOCAL = "local"  # resident in the machine's own partition
+    REMOTE = "remote"  # fetched over the network (stored in the chunk)
+    CACHE = "cache"  # hit in the static data cache
+    SHARED = "shared"  # pointer into another chunk member (HDS hit)
+
+
+class ExtendableEmbedding:
+    """One node of an embedding tree, plus its extension bookkeeping.
+
+    Parameters
+    ----------
+    vertex:
+        The data vertex added by this extension (the embedding's last
+        matching-order position).
+    level:
+        Matching-order position of ``vertex`` (root = 0).
+    parent:
+        The embedding this one extends; ``None`` for roots.
+    needs_fetch:
+        Whether ``vertex``'s edge list is active (some later step
+        intersects it) and therefore must be available before this
+        embedding can be extended.
+    """
+
+    __slots__ = (
+        "vertex",
+        "level",
+        "parent",
+        "needs_fetch",
+        "source",
+        "intermediate",
+        "stored_bytes",
+        "state",
+        "open_children",
+    )
+
+    def __init__(
+        self,
+        vertex: int,
+        level: int,
+        parent: Optional["ExtendableEmbedding"],
+        needs_fetch: bool,
+    ):
+        self.vertex = int(vertex)
+        self.level = level
+        self.parent = parent
+        self.needs_fetch = needs_fetch
+        self.source = EdgeListSource.NONE
+        #: raw intersection result stored for descendants (VCS, Section 5.1)
+        self.intermediate: Optional[np.ndarray] = None
+        #: bytes this embedding pins in its chunk (accounting)
+        self.stored_bytes = EMBEDDING_BASE_BYTES
+        self.state = (
+            EmbeddingState.PENDING if needs_fetch else EmbeddingState.READY
+        )
+        self.open_children = 0
+        if parent is not None:
+            parent.open_children += 1
+
+    # ------------------------------------------------------------------
+    def vertices(self) -> tuple[int, ...]:
+        """The embedding's data vertices in matching order (walks parents)."""
+        chain: list[int] = []
+        node: Optional[ExtendableEmbedding] = self
+        while node is not None:
+            chain.append(node.vertex)
+            node = node.parent
+        chain.reverse()
+        return tuple(chain)
+
+    def ancestor(self, level: int) -> "ExtendableEmbedding":
+        """The ancestor at matching-order position ``level`` (may be self)."""
+        node: ExtendableEmbedding = self
+        while node.level > level:
+            assert node.parent is not None, "broken parent chain"
+            node = node.parent
+        if node.level != level:
+            raise ValueError(f"no ancestor at level {level}")
+        return node
+
+    def intermediate_at(self, level: int) -> Optional[np.ndarray]:
+        """The reusable intersection stored at ancestor ``level`` (VCS)."""
+        return self.ancestor(level).intermediate
+
+    # ------------------------------------------------------------------
+    def mark_ready(self, source: EdgeListSource) -> None:
+        """Active edge list is now available; PENDING -> READY."""
+        self.source = source
+        self.state = EmbeddingState.READY
+
+    def mark_zombie(self) -> None:
+        """Extension performed; memory still shared with children."""
+        self.state = EmbeddingState.ZOMBIE
+        if self.open_children == 0:
+            self._terminate()
+
+    def child_terminated(self) -> None:
+        """A child released; terminate when the last one does (Figure 6)."""
+        self.open_children -= 1
+        if self.open_children == 0 and self.state is EmbeddingState.ZOMBIE:
+            self._terminate()
+
+    def _terminate(self) -> None:
+        self.state = EmbeddingState.TERMINATED
+        if self.parent is not None:
+            self.parent.child_terminated()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtendableEmbedding({self.vertices()}, state={self.state.value})"
+        )

@@ -1,0 +1,192 @@
+"""The EXTEND interface (paper Section 3.2) and candidate computation.
+
+``EXTEND`` is the sole interface between a client GPM system and the
+Khuzdul engine: given an extendable embedding whose active edge lists
+are available, produce its children (or, at the last level, hand the
+completed embeddings to the application's UDF). Client systems here
+are compiled :class:`~repro.patterns.schedule.Schedule` objects, so one
+generic :class:`ScheduleExtender` plays the role the modified
+Automine/GraphPi compilers play in the paper — emitting the
+pattern-specific branch structure of Figure 5 from the schedule.
+
+:func:`compute_candidates` is the inner intersection kernel shared by
+every engine and baseline in this repository, which is what guarantees
+all of them report identical embedding counts while differing only in
+where costs are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.patterns.schedule import ExtensionStep, Schedule
+
+#: Application callback: receives the embedding prefix (matching-order
+#: positions 0..n-2) and the array of final vertices completing it.
+MatchCallback = Callable[[tuple[int, ...], np.ndarray], None]
+
+_EMPTY = np.empty(0, dtype=np.int32)
+
+
+@dataclass
+class ExtendResult:
+    """Outcome of extending one embedding by one level.
+
+    ``candidates`` are the data vertices that complete the step after
+    every filter; ``raw`` is the unfiltered intersection kept when the
+    schedule marks the step ``store_intermediate`` (vertical computation
+    sharing); ``merge_elements`` counts the elements streamed through
+    set operations (the engine's computation cost unit);
+    ``scanned`` counts candidate-array elements passed through filters.
+    """
+
+    candidates: np.ndarray
+    raw: Optional[np.ndarray]
+    merge_elements: int
+    scanned: int
+
+
+def compute_candidates(
+    graph: Graph,
+    step: ExtensionStep,
+    vertices: tuple[int, ...],
+    intermediate: Optional[np.ndarray],
+    vcs: bool,
+) -> ExtendResult:
+    """Candidates for matching-order position ``step.level``.
+
+    Parameters
+    ----------
+    graph:
+        The input graph (neighbor lists are sorted/unique CSR slices).
+    step:
+        The schedule step being executed.
+    vertices:
+        Data vertices already placed at positions ``0..step.level-1``.
+    intermediate:
+        The ancestor's stored raw intersection for ``step.reuse_level``
+        (``None`` when unavailable).
+    vcs:
+        Whether vertical computation sharing is enabled; when off the
+        full intersection is recomputed from the edge lists.
+    """
+    merge_elements = 0
+    use_reuse = vcs and step.reuse_level is not None and intermediate is not None
+    if use_reuse:
+        base = intermediate
+        remaining = step.extra_connected
+    else:
+        base = graph.neighbors(vertices[step.connected[0]])
+        remaining = step.connected[1:]
+    for position in remaining:
+        other = graph.neighbors(vertices[position])
+        merge_elements += len(base) + len(other)
+        base = np.intersect1d(base, other, assume_unique=True)
+
+    raw = base if step.store_intermediate else None
+    candidates = base
+    scanned = len(candidates)
+
+    for position in step.disconnected:
+        other = graph.neighbors(vertices[position])
+        merge_elements += len(candidates) + len(other)
+        candidates = np.setdiff1d(candidates, other, assume_unique=True)
+
+    if len(candidates):
+        # distinct-vertex constraint: drop already-used data vertices
+        candidates = candidates[~np.isin(candidates, vertices)]
+    if step.larger_than and len(candidates):
+        bound = max(vertices[j] for j in step.larger_than)
+        candidates = candidates[candidates > bound]
+    if step.smaller_than and len(candidates):
+        bound = min(vertices[j] for j in step.smaller_than)
+        candidates = candidates[candidates < bound]
+    if step.label is not None and graph.labels is not None and len(candidates):
+        candidates = candidates[graph.labels[candidates] == step.label]
+    if step.edge_labels is not None and len(candidates):
+        candidates = _filter_edge_labels(graph, step, vertices, candidates)
+
+    return ExtendResult(
+        candidates=candidates if len(candidates) else _EMPTY,
+        raw=raw,
+        merge_elements=merge_elements,
+        scanned=scanned,
+    )
+
+
+def _filter_edge_labels(
+    graph: Graph,
+    step: ExtensionStep,
+    vertices: tuple[int, ...],
+    candidates: np.ndarray,
+) -> np.ndarray:
+    """Keep candidates whose connecting edges carry the required labels.
+
+    For each connected position ``j`` the pattern demands label
+    ``step.edge_labels[k]`` on the edge ``(v_j, candidate)``. Candidates
+    are a subset of ``N(v_j)``, so their labels are found by binary
+    search into the CSR slice.
+    """
+    assert step.edge_labels is not None
+    for position, required in zip(step.connected, step.edge_labels):
+        if not len(candidates):
+            break
+        source = vertices[position]
+        nbrs = graph.neighbors(source)
+        label_slice = graph.edge_label_slice(source)
+        if label_slice is None:
+            if required != 0:
+                return candidates[:0]
+            continue
+        offsets = np.searchsorted(nbrs, candidates)
+        candidates = candidates[label_slice[offsets] == required]
+    return candidates
+
+
+class ScheduleExtender:
+    """The EXTEND function compiled from a :class:`Schedule`.
+
+    This is the object a ported single-machine GPM system hands to the
+    engine: ``step_for(level)`` selects the branch the paper's EXTEND
+    pseudo-code switches on, and :meth:`extend_level` runs it. Porting
+    Automine/GraphPi onto Khuzdul amounts to generating one of these
+    from their matching-order compilers (see ``repro.systems``).
+    """
+
+    def __init__(self, schedule: Schedule, vcs: bool = True):
+        self.schedule = schedule
+        self.vcs = vcs
+
+    @property
+    def num_levels(self) -> int:
+        return self.schedule.num_levels
+
+    @property
+    def final_level(self) -> int:
+        """Matching-order position of the last vertex."""
+        return self.schedule.pattern.num_vertices - 1
+
+    def step_for(self, level: int) -> ExtensionStep:
+        """The step that places position ``level`` (1-based levels)."""
+        return self.schedule.steps[level - 1]
+
+    def needs_edge_list(self, position: int) -> bool:
+        return self.schedule.needs_edge_list(position)
+
+    def extend_level(
+        self,
+        graph: Graph,
+        vertices: tuple[int, ...],
+        level: int,
+        intermediate_lookup: Callable[[int], Optional[np.ndarray]],
+    ) -> ExtendResult:
+        """Run the extension placing position ``level``."""
+        step = self.step_for(level)
+        intermediate = None
+        if self.vcs and step.reuse_level is not None:
+            intermediate = intermediate_lookup(step.reuse_level)
+        return compute_candidates(graph, step, vertices, intermediate, self.vcs)

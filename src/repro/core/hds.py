@@ -1,0 +1,75 @@
+"""Horizontal data sharing (paper Section 5.2).
+
+Extendable embeddings in the same chunk often request the same edge
+list (a hub vertex is the new vertex of many embeddings at once). A
+per-level hash table with vertex-id keys dedups those fetches. To keep
+the table nearly free, collisions are *dropped* rather than chained: if
+the slot for ``v`` is occupied by a different vertex, ``v`` is simply
+fetched again. The paper reports this trades a little redundant
+communication for a large bookkeeping saving (4.4TB -> 33.8GB on
+5-clique/LiveJournal while remaining cheap).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+_KNUTH = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+class ProbeOutcome(Enum):
+    HIT = "hit"  # same vertex already in the slot: share the pointer
+    INSERTED = "inserted"  # slot was free: this fetch fills it
+    DROPPED = "dropped"  # slot held a different vertex: fetch anyway
+
+
+class HorizontalShareTable:
+    """Collision-dropping per-chunk hash table of requested edge lists.
+
+    ``chaining=True`` switches to the conventional design the paper
+    argues *against*: collisions build a chain instead of being dropped.
+    Chaining removes the residual duplicate fetches but pays a chain
+    walk on every colliding probe — ``chain_steps`` counts those extra
+    key comparisons so the ablation bench can charge their cost.
+    """
+
+    def __init__(self, num_slots: int = 8192, chaining: bool = False):
+        self.num_slots = max(1, num_slots)
+        self.chaining = chaining
+        self._slots: dict[int, list[int]] = {}
+        self.hits = 0
+        self.inserts = 0
+        self.drops = 0
+        self.probes = 0
+        self.chain_steps = 0
+
+    def probe(self, vertex: int) -> ProbeOutcome:
+        """Look up / claim the slot for ``vertex``."""
+        self.probes += 1
+        slot = ((vertex + 1) * _KNUTH & _MASK) % self.num_slots
+        chain = self._slots.get(slot)
+        if chain is None:
+            self._slots[slot] = [vertex]
+            self.inserts += 1
+            return ProbeOutcome.INSERTED
+        if chain[0] == vertex:
+            self.hits += 1
+            return ProbeOutcome.HIT
+        if not self.chaining:
+            self.drops += 1
+            return ProbeOutcome.DROPPED
+        # chained variant: walk the collision chain
+        for occupant in chain[1:]:
+            self.chain_steps += 1
+            if occupant == vertex:
+                self.hits += 1
+                return ProbeOutcome.HIT
+        self.chain_steps += 1
+        chain.append(vertex)
+        self.inserts += 1
+        return ProbeOutcome.INSERTED
+
+    def clear(self) -> None:
+        """Reset for the next chunk (the table is per-level/per-chunk)."""
+        self._slots.clear()

@@ -1,0 +1,78 @@
+"""Run reports: what one engine execution measured.
+
+Every engine and baseline returns a :class:`RunReport`; the benchmark
+harness turns collections of them into the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable simulated time (the paper mixes ms/s/h units)."""
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 3600.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 3600.0:.2f}h"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable data volume."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class RunReport:
+    """Everything measured during one simulated GPM run."""
+
+    system: str
+    app: str
+    graph_name: str
+    #: embedding count, or per-pattern counts for motif/FSM workloads
+    counts: Any
+    simulated_seconds: float
+    #: total bytes crossing machine boundaries
+    network_bytes: int = 0
+    #: breakdown of the *slowest* machine's time (Figure 15 categories)
+    breakdown: dict[str, float] = field(default_factory=dict)
+    #: per-machine total clocks
+    machine_seconds: list[float] = field(default_factory=list)
+    cache_hit_rate: float = 0.0
+    cache_entries: int = 0
+    #: peak network link utilization (Figure 19)
+    network_utilization: float = 0.0
+    peak_memory_bytes: int = 0
+    num_machines: int = 1
+    #: free-form extras (hds stats, chunk counts, ...)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def breakdown_fractions(self) -> dict[str, float]:
+        """Bucket shares of the critical-path machine's time."""
+        total = sum(self.breakdown.values())
+        if total <= 0:
+            return {k: 0.0 for k in self.breakdown}
+        return {k: v / total for k, v in self.breakdown.items()}
+
+    def speedup_over(self, other: "RunReport") -> float:
+        """How much faster this run is than ``other``."""
+        if self.simulated_seconds <= 0:
+            return float("inf")
+        return other.simulated_seconds / self.simulated_seconds
+
+    def describe(self) -> str:
+        """One-line summary used by the examples."""
+        return (
+            f"{self.system:<14} {self.app:<8} {self.graph_name:<12} "
+            f"time={format_seconds(self.simulated_seconds):>9} "
+            f"traffic={format_bytes(self.network_bytes):>9} "
+            f"count={self.counts}"
+        )

@@ -1,0 +1,376 @@
+"""Per-machine BFS-DFS hybrid exploration (paper Section 4).
+
+Each machine explores the embedding trees rooted at its local partition
+vertices. Same-level extendable embeddings are grouped into fixed-size
+chunks; the scheduler descends (DFS) as soon as the next level's chunk
+fills and backtracks when a level is exhausted, releasing whole chunks
+at once. Before a chunk is extended, its pending edge-list fetches are
+resolved with circulant scheduling — shuffled into per-owner batches
+whose communication is pipelined against the chunk's computation.
+
+The scheduler charges every mechanism to the machine's clock buckets:
+intersections and embedding creation to ``compute``, fine-grained task
+bookkeeping to ``scheduler``, HDS/static-cache bookkeeping to ``cache``,
+and unhidden fetch time to ``network`` — the categories of Figure 15.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineState
+from repro.core.cache import EdgeCache
+from repro.core.chunk import Chunk
+from repro.core.embedding import EdgeListSource, ExtendableEmbedding
+from repro.core.extend import ScheduleExtender
+from repro.core.hds import HorizontalShareTable, ProbeOutcome
+from repro.core.pipeline import pipeline_time
+from repro.errors import TimeoutError
+
+#: UDF signature: (prefix vertices, completing candidates array).
+Udf = Callable[[tuple[int, ...], np.ndarray], None]
+
+
+class _LevelState:
+    """One level of the DFS stack: a resolved chunk plus its accounting."""
+
+    __slots__ = (
+        "chunk",
+        "cursor",
+        "resume",
+        "comm_times",
+        "batch_sizes",
+        "compute_serial",
+        "scheduler_serial",
+    )
+
+    def __init__(self, chunk: Chunk):
+        self.chunk = chunk
+        self.cursor = 0
+        #: mid-embedding continuation: (parent, ExtendResult, next index).
+        #: The paper pauses a level as soon as the next level's memory is
+        #: full — possibly in the middle of one embedding's extension.
+        self.resume = None
+        self.comm_times: list[float] = [0.0]  # batch 0 = local/no-fetch
+        self.batch_sizes: list[int] = [0]
+        self.compute_serial = 0.0
+        self.scheduler_serial = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.resume is None and self.cursor >= len(self.chunk.items)
+
+
+class MachineScheduler:
+    """Runs one machine's share of a pattern's enumeration."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        machine: MachineState,
+        extender: ScheduleExtender,
+        cache: EdgeCache,
+        udf: Udf,
+        chunk_bytes: int,
+        hds_enabled: bool,
+        hds_slots: int,
+        vcs_enabled: bool,
+        numa_aware: bool,
+        hds_chaining: bool = False,
+        circulant: bool = True,
+        time_budget: Optional[float] = None,
+    ):
+        self.cluster = cluster
+        self.machine = machine
+        self.graph = cluster.graph
+        self.extender = extender
+        self.cache = cache
+        self.udf = udf
+        self.chunk_bytes = chunk_bytes
+        self.hds_enabled = hds_enabled
+        self.hds = HorizontalShareTable(hds_slots, chaining=hds_chaining)
+        self.vcs_enabled = vcs_enabled
+        self.numa_aware = numa_aware
+        self.circulant = circulant
+        self.time_budget = time_budget
+        self.cost = cluster.cost
+        self.matches = 0
+        self.chunks_created = 0
+        #: how each embedding's active edge list was satisfied
+        self.fetch_sources = {
+            EdgeListSource.LOCAL: 0,
+            EdgeListSource.REMOTE: 0,
+            EdgeListSource.CACHE: 0,
+            EdgeListSource.SHARED: 0,
+        }
+
+    # ------------------------------------------------------------------
+    # cost helpers
+    # ------------------------------------------------------------------
+    def _compute_penalty(self) -> float:
+        """NUMA-oblivious runs pay cross-socket memory latency (S5.4)."""
+        if self.machine.sockets <= 1 or self.numa_aware:
+            return 1.0
+        return (
+            1.0 + self.cost.numa_cross_fraction * self.cost.numa_remote_penalty
+        )
+
+    def _parallel(self, serial_seconds: float) -> float:
+        return self.machine.parallel_compute_time(serial_seconds)
+
+    def _check_budget(self) -> None:
+        if (
+            self.time_budget is not None
+            and self.machine.clock.total() > self.time_budget
+        ):
+            raise TimeoutError(self.machine.clock.total(), self.time_budget)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, roots: np.ndarray) -> int:
+        """Explore all embedding trees rooted at ``roots``; returns matches."""
+        pattern_size = self.extender.schedule.pattern.num_vertices
+        if pattern_size == 1:
+            self.matches += len(roots)
+            self.machine.clock.compute += (
+                len(roots) * self.cost.emit_per_candidate
+            )
+            return self.matches
+
+        root_needs_fetch = self.extender.schedule.root_active()
+        root_iter = iter(roots)
+        while True:
+            root_chunk = self._fill_root_chunk(root_iter, root_needs_fetch)
+            if root_chunk is None:
+                break
+            self._explore_from(root_chunk)
+            self._check_budget()
+        return self.matches
+
+    def _fill_root_chunk(
+        self, root_iter, root_needs_fetch: bool
+    ) -> Optional[Chunk]:
+        """Level-0 chunk: single-vertex embeddings, all data local."""
+        chunk = Chunk(0, self.chunk_bytes, self.machine)
+        self.chunks_created += 1
+        for root in root_iter:
+            emb = ExtendableEmbedding(int(root), 0, None, root_needs_fetch)
+            emb.mark_ready(EdgeListSource.LOCAL)  # roots are owned locally
+            chunk.add(emb)
+            if chunk.full:
+                break
+        if not chunk.items:
+            chunk.release()
+            return None
+        return chunk
+
+    def _explore_from(self, root_chunk: Chunk) -> None:
+        final_extend_level = self.extender.final_level - 1
+        stack = [_LevelState(root_chunk)]
+        self._charge_chunk_setup(stack[-1], len(root_chunk.items))
+        while stack:
+            state = stack[-1]
+            if state.exhausted:
+                self._finalize_state(state)
+                stack.pop()
+                self._check_budget()
+                continue
+            if state.chunk.level >= final_extend_level:
+                self._drain_final(state)
+                continue
+            next_chunk = self._fill_next_chunk(state)
+            if next_chunk is None:
+                continue
+            next_state = _LevelState(next_chunk)
+            self._resolve_chunk(next_chunk, next_state)
+            self._charge_chunk_setup(next_state, len(next_chunk.items))
+            stack.append(next_state)
+
+    # ------------------------------------------------------------------
+    # extension
+    # ------------------------------------------------------------------
+    def _extend_one(
+        self, state: _LevelState, emb: ExtendableEmbedding, level: int
+    ):
+        result = self.extender.extend_level(
+            self.graph, emb.vertices(), level, emb.intermediate_at
+        )
+        state.compute_serial += (
+            result.merge_elements * self.cost.intersect_per_element
+            + result.scanned * self.cost.emit_per_candidate
+        )
+        return result
+
+    def _fill_next_chunk(self, state: _LevelState) -> Optional[Chunk]:
+        """Extend parents from ``state`` until the child chunk fills."""
+        level = state.chunk.level
+        child_level = level + 1
+        needs_fetch = self.extender.needs_edge_list(child_level)
+        chunk = Chunk(child_level, self.chunk_bytes, self.machine,
+                      preallocate=True)
+        self.chunks_created += 1
+        items = state.chunk.items
+        while not chunk.full:
+            if state.resume is None:
+                if state.cursor >= len(items):
+                    break
+                emb = items[state.cursor]
+                state.cursor += 1
+                result = self._extend_one(state, emb, child_level)
+                state.resume = (emb, result, 0)
+            emb, result, index = state.resume
+            raw = result.raw if self.vcs_enabled else None
+            raw_bytes = 4 * len(raw) if raw is not None else 0
+            while index < len(result.candidates) and not chunk.full:
+                v = result.candidates[index]
+                index += 1
+                child = ExtendableEmbedding(int(v), child_level, emb, needs_fetch)
+                chunk.add(child)
+                if needs_fetch:
+                    # reserve space for the (possibly) fetched edge list
+                    # up front so the chunk's fixed memory budget covers
+                    # its contents (Section 4.2); refunded at resolve
+                    # time if the list is shared, cached, or local
+                    chunk.charge_extra(
+                        child, self.graph.edge_list_bytes(int(v))
+                    )
+                if raw is not None:
+                    child.intermediate = raw
+                    chunk.charge_extra(child, raw_bytes)
+                state.compute_serial += self.cost.embedding_create
+                state.scheduler_serial += self.cost.task_schedule
+            if index < len(result.candidates):
+                # next-level memory is full mid-embedding: pause here and
+                # resume after the subtree below this chunk is explored
+                state.resume = (emb, result, index)
+            else:
+                emb.mark_zombie()
+                state.resume = None
+        if not chunk.items:
+            chunk.release()
+            return None
+        return chunk
+
+    def _drain_final(self, state: _LevelState) -> None:
+        """Last extension level: completed embeddings go to the UDF."""
+        final_level = self.extender.final_level
+        items = state.chunk.items
+        while state.cursor < len(items):
+            emb = items[state.cursor]
+            state.cursor += 1
+            result = self._extend_one(state, emb, final_level)
+            if len(result.candidates):
+                self.matches += len(result.candidates)
+                self.udf(emb.vertices(), result.candidates)
+                state.compute_serial += (
+                    len(result.candidates) * self.cost.emit_per_candidate
+                )
+            emb.mark_zombie()
+
+    # ------------------------------------------------------------------
+    # communication resolution (circulant scheduling, Section 4.3)
+    # ------------------------------------------------------------------
+    def _resolve_chunk(self, chunk: Chunk, state: _LevelState) -> None:
+        me = self.machine.machine_id
+        num_machines = self.cluster.num_machines
+        if self.hds_enabled:
+            self.hds.clear()  # the share table is per level/chunk
+        chain_steps_before = self.hds.chain_steps
+        cache_ops = 0.0
+
+        # group pending fetches by owner machine
+        groups: dict[int, list[ExtendableEmbedding]] = {}
+        local_count = 0
+        for emb in chunk.items:
+            if not emb.needs_fetch:
+                local_count += 1
+                continue
+            v = emb.vertex
+            reserved = self.graph.edge_list_bytes(v)
+            owner = self.cluster.owner(v)
+            if owner == me:
+                emb.mark_ready(EdgeListSource.LOCAL)
+                self.fetch_sources[EdgeListSource.LOCAL] += 1
+                chunk.refund(emb, reserved)  # local: pointer only
+                local_count += 1
+                continue
+            if self.hds_enabled:
+                cache_ops += self.cost.hds_probe
+                outcome = self.hds.probe(v)
+                if outcome is ProbeOutcome.HIT:
+                    emb.mark_ready(EdgeListSource.SHARED)
+                    self.fetch_sources[EdgeListSource.SHARED] += 1
+                    chunk.refund(emb, reserved)  # pointer into the chunk
+                    local_count += 1
+                    continue
+            if self.cache.query(v):
+                emb.mark_ready(EdgeListSource.CACHE)
+                self.fetch_sources[EdgeListSource.CACHE] += 1
+                chunk.refund(emb, reserved)  # resident in the cache pool
+                local_count += 1
+                continue
+            groups.setdefault(owner, []).append(emb)
+        state.batch_sizes[0] = local_count
+
+        # circulant order: owner machines starting from me+1
+        for offset in range(1, num_machines):
+            owner = (me + offset) % num_machines
+            batch = groups.get(owner)
+            if not batch:
+                continue
+            payload = 0
+            server = self.cluster.machine(owner)
+            for emb in batch:
+                v = emb.vertex
+                num_bytes = self.graph.edge_list_bytes(v)
+                self.cluster.network.record_fetch(me, owner, num_bytes, server)
+                payload += num_bytes
+                admitted = self.cache.admit(v, num_bytes, self.graph.degree(v))
+                if admitted:
+                    chunk.refund(emb, num_bytes)  # lives in the cache pool
+                emb.mark_ready(EdgeListSource.REMOTE)
+                self.fetch_sources[EdgeListSource.REMOTE] += 1
+            comm = self.cluster.network.batch_time(payload, len(batch))
+            serve = self.cluster.network.serve_time(payload, len(batch))
+            server.serve_seconds += serve / server.comm_threads
+            state.comm_times.append(comm)
+            state.batch_sizes.append(len(batch))
+
+        cache_ops += (
+            self.hds.chain_steps - chain_steps_before
+        ) * self.cost.hds_probe
+        cache_ops += self.cache.drain_cost()
+        self.machine.clock.cache += self._parallel(cache_ops)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _charge_chunk_setup(self, state: _LevelState, num_items: int) -> None:
+        state.scheduler_serial += self.cost.chunk_setup
+        state.scheduler_serial += (
+            math.ceil(num_items / self.cost.mini_batch_size)
+            * self.cost.mini_batch_dispatch
+        )
+
+    def _finalize_state(self, state: _LevelState) -> None:
+        """Charge the chunk's pipelined time and release its memory."""
+        penalty = self._compute_penalty()
+        compute_par = self._parallel(state.compute_serial) * penalty
+        total_batch = max(1, sum(state.batch_sizes))
+        compute_per_batch = [
+            compute_par * size / total_batch for size in state.batch_sizes
+        ]
+        if self.circulant:
+            wall = pipeline_time(state.comm_times, compute_per_batch)
+        else:
+            # no pipelining: every fetch completes before computing
+            wall = sum(state.comm_times) + compute_par
+        self.machine.clock.compute += compute_par
+        self.machine.clock.network += max(0.0, wall - compute_par)
+        self.machine.clock.scheduler += self._parallel(state.scheduler_serial)
+        state.chunk.release()

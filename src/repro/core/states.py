@@ -1,0 +1,20 @@
+"""Execution states of an extendable embedding (paper Figure 6)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class EmbeddingState(Enum):
+    """Lifecycle of one extendable embedding.
+
+    ``PENDING``: created, active edge lists not yet fetched.
+    ``READY``: all active edge lists available; extension can run.
+    ``ZOMBIE``: extension done, but memory still shared with children.
+    ``TERMINATED``: all children terminated; memory can be released.
+    """
+
+    PENDING = "pending"
+    READY = "ready"
+    ZOMBIE = "zombie"
+    TERMINATED = "terminated"

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Engines raise these instead of returning sentinel values so that the
+benchmark harness can report the same failure modes the paper's Table 2
+and Figure 18 record (``CRASHED`` / ``OUTOFMEM`` / ``TIMEOUT``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or graph file could not be parsed."""
+
+
+class PatternError(ReproError):
+    """A pattern graph is malformed (disconnected, self-loop, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A matching order / extension schedule could not be constructed."""
+
+
+class OutOfMemoryError(ReproError):
+    """A simulated machine exceeded its configured memory capacity.
+
+    Mirrors the OUTOFMEM / CRASHED outcomes in the paper's Tables 2-3 and
+    the OOM point in Figure 18.
+    """
+
+    def __init__(self, machine_id: int, needed_bytes: int, capacity_bytes: int):
+        self.machine_id = machine_id
+        self.needed_bytes = needed_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"machine {machine_id} needs {needed_bytes} bytes "
+            f"but has capacity {capacity_bytes}"
+        )
+
+
+class TimeoutError(ReproError):
+    """A simulated run exceeded the configured simulated-time budget."""
+
+    def __init__(self, simulated_seconds: float, budget_seconds: float):
+        self.simulated_seconds = simulated_seconds
+        self.budget_seconds = budget_seconds
+        super().__init__(
+            f"simulated runtime {simulated_seconds:.1f}s exceeded "
+            f"budget {budget_seconds:.1f}s"
+        )
+
+
+class ConfigurationError(ReproError):
+    """An engine or cluster was configured inconsistently."""

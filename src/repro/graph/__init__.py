@@ -1,0 +1,43 @@
+"""Graph substrate: CSR graphs, builders, generators, partitioning.
+
+This package implements everything the Khuzdul engine needs from the
+input-graph side: an immutable CSR representation with sorted adjacency
+(`Graph`), builders from edge lists and files, synthetic dataset
+generators that stand in for the paper's SNAP/WebGraph datasets, 1-D
+hash partitioning with optional NUMA sub-partitions, and the
+orientation (DAG) preprocessing used for triangle/clique counting on
+large graphs.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.builder import (
+    from_edges,
+    from_edge_array,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graph.generators import (
+    erdos_renyi,
+    power_law_graph,
+    random_labels,
+)
+from repro.graph.datasets import dataset, DATASETS, DatasetSpec
+from repro.graph.partition import HashPartitioner, PartitionedGraph
+from repro.graph.orientation import orient_by_degree
+
+__all__ = [
+    "Graph",
+    "from_edges",
+    "from_edge_array",
+    "read_edge_list",
+    "write_edge_list",
+    "erdos_renyi",
+    "power_law_graph",
+    "random_labels",
+    "dataset",
+    "DATASETS",
+    "DatasetSpec",
+    "HashPartitioner",
+    "PartitionedGraph",
+    "orient_by_degree",
+]

@@ -1,0 +1,124 @@
+"""Named scaled-down analogues of the paper's datasets (Table 1).
+
+Each :class:`DatasetSpec` preserves the *relative* properties that drive
+Khuzdul's behaviour — size ordering, average degree, and degree skew
+(Patents is deliberately low-skew; UK/Twitter/Clueweb/WDC are hub-heavy)
+— at a scale where pure-Python enumeration finishes in seconds. The
+``scale`` argument of :func:`dataset` lets benchmarks grow or shrink all
+analogues together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.graph.generators import power_law_graph, random_labels
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic dataset analogue.
+
+    ``paper_vertices`` / ``paper_edges`` record what the real dataset
+    looked like (for documentation and for the memory-footprint model of
+    replication-based baselines); the remaining fields parameterize the
+    generator.
+    """
+
+    name: str
+    paper_vertices: float
+    paper_edges: float
+    num_vertices: int
+    num_edges: int
+    exponent: float
+    max_degree: Optional[int]
+    seed: int
+    labels: Optional[int] = None  # number of label classes, if labeled
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Return a copy with vertex/edge counts multiplied by ``scale``."""
+        return DatasetSpec(
+            name=self.name,
+            paper_vertices=self.paper_vertices,
+            paper_edges=self.paper_edges,
+            num_vertices=max(8, int(self.num_vertices * scale)),
+            num_edges=max(8, int(self.num_edges * scale)),
+            exponent=self.exponent,
+            max_degree=(
+                None if self.max_degree is None
+                else max(4, int(self.max_degree * scale))
+            ),
+            seed=self.seed,
+            labels=self.labels,
+        )
+
+
+#: Dataset analogues, keyed by the paper's abbreviations (Table 1), plus
+#: the three graphs of the aDFS comparison (Figure 10).
+DATASETS: dict[str, DatasetSpec] = {
+    # small graphs (Table 1, rows 1-3)
+    "mico": DatasetSpec("mico", 96.6e3, 1.1e6, 400, 4200, 2.6, 60, 11,
+                        labels=5),
+    "patents": DatasetSpec("patents", 3.8e6, 16.5e6, 1600, 7000, 3.5, 24, 12,
+                           labels=6),
+    "livejournal": DatasetSpec("livejournal", 4.8e6, 42.9e6, 1600, 12000,
+                               2.3, 400, 13, labels=4),
+    # medium graphs (Table 1, rows 4-6)
+    "uk": DatasetSpec("uk", 39.5e6, 0.94e9, 2400, 26000, 1.9, 1400, 14),
+    "twitter": DatasetSpec("twitter", 41.7e6, 1.5e9, 2600, 30000, 1.9, 1600,
+                           15),
+    "friendster": DatasetSpec("friendster", 65.6e6, 1.8e9, 3000, 30000, 2.7,
+                              120, 16),
+    # massive graphs (Table 1, rows 7-9)
+    "clueweb": DatasetSpec("clueweb", 978.4e6, 42.6e9, 5000, 60000, 1.9,
+                           3200, 17),
+    "uk14": DatasetSpec("uk14", 787.8e6, 47.6e9, 5000, 64000, 1.95, 2400,
+                        18),
+    "wdc": DatasetSpec("wdc", 3.5e9, 128.7e9, 7000, 90000, 1.9, 4000, 19),
+    # aDFS comparison graphs (Figure 10)
+    "skitter": DatasetSpec("skitter", 1.7e6, 11.1e6, 1000, 6000, 2.2, 200,
+                           20),
+    "orkut": DatasetSpec("orkut", 3.1e6, 117.2e6, 1400, 16000, 2.4, 250,
+                         21),
+}
+
+
+@lru_cache(maxsize=64)
+def _build(name: str, scale: float, labeled: bool) -> Graph:
+    spec = DATASETS[name].scaled(scale)
+    graph = power_law_graph(
+        spec.num_vertices,
+        spec.num_edges,
+        exponent=spec.exponent,
+        max_degree=spec.max_degree,
+        seed=spec.seed,
+    )
+    if labeled:
+        num_labels = spec.labels if spec.labels is not None else 16
+        graph = random_labels(graph, num_labels, seed=spec.seed + 1000)
+    return graph
+
+
+def dataset(name: str, scale: float = 1.0, labeled: bool = False) -> Graph:
+    """Build (and memoize) the named dataset analogue.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`DATASETS` (paper abbreviations: ``mico``,
+        ``patents``, ``livejournal``, ``uk``, ``twitter``, ``friendster``,
+        ``clueweb``, ``uk14``, ``wdc``, plus ``skitter``/``orkut``).
+    scale:
+        Multiplier on vertex/edge counts; 1.0 is the default bench scale.
+    labeled:
+        Attach vertex labels (needed for FSM). Unlabeled datasets get
+        random labels, matching the paper's treatment of lj for FSM.
+    """
+    if name not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return _build(name, scale, labeled)

@@ -1,0 +1,120 @@
+"""Synthetic graph generators.
+
+The paper evaluates on real SNAP/WebGraph datasets up to 128.7B edges.
+Those are unavailable offline and far beyond pure-Python enumeration, so
+the reproduction uses scaled-down synthetic analogues. The property that
+matters for every mechanism Khuzdul exercises is *degree skew* (power-law
+hot spots drive communication concentration, cache effectiveness, and
+task imbalance), so the central generator is a Chung-Lu style power-law
+model with a controllable exponent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.graph import Graph
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+    """G(n, m) random graph: ``num_edges`` distinct undirected edges."""
+    rng = np.random.default_rng(seed)
+    edges = set()
+    # Sample in bulk and dedup; loop until enough distinct edges.
+    target = min(num_edges, num_vertices * (num_vertices - 1) // 2)
+    while len(edges) < target:
+        need = (target - len(edges)) * 2 + 16
+        us = rng.integers(0, num_vertices, size=need)
+        vs = rng.integers(0, num_vertices, size=need)
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            edge = (int(u), int(v)) if u < v else (int(v), int(u))
+            edges.add(edge)
+            if len(edges) >= target:
+                break
+    array = np.array(sorted(edges), dtype=np.int64).reshape(len(edges), 2)
+    return from_edge_array(array, num_vertices=num_vertices)
+
+
+def power_law_graph(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.2,
+    max_degree: Optional[int] = None,
+    seed: int = 0,
+) -> Graph:
+    """Chung-Lu style power-law graph.
+
+    Vertices get expected weights ``w_i ∝ (i + i0)^(-1/(exponent-1))``;
+    endpoints of each edge are drawn proportionally to the weights. A
+    smaller ``exponent`` produces a more skewed graph (bigger hubs);
+    ``max_degree`` optionally caps the weight of the largest hub so that
+    low-skew datasets like Patents can be modelled.
+
+    The result is simple (no self-loops or duplicates), so the realized
+    edge count can fall slightly below ``num_edges`` on dense corners.
+    """
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    if max_degree is not None:
+        # Cap hub weights so the expected max degree stays near the cap.
+        expected = weights / weights.sum() * (2.0 * num_edges)
+        scale = np.minimum(1.0, max_degree / np.maximum(expected, 1e-12))
+        weights = weights * scale
+    probs = weights / weights.sum()
+
+    edges = set()
+    attempts = 0
+    target = num_edges
+    while len(edges) < target and attempts < 40:
+        need = (target - len(edges)) * 2 + 32
+        us = rng.choice(num_vertices, size=need, p=probs)
+        vs = rng.choice(num_vertices, size=need, p=probs)
+        for u, v in zip(us, vs):
+            if u == v:
+                continue
+            edge = (int(u), int(v)) if u < v else (int(v), int(u))
+            edges.add(edge)
+            if len(edges) >= target:
+                break
+        attempts += 1
+    array = np.array(sorted(edges), dtype=np.int64).reshape(len(edges), 2)
+    return from_edge_array(array, num_vertices=num_vertices)
+
+
+def random_labels(
+    graph: Graph, num_labels: int, seed: int = 0
+) -> Graph:
+    """Attach uniformly random vertex labels (paper's FSM setup for lj)."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_labels, size=graph.num_vertices)
+    return graph.with_labels(labels)
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """A star with vertex 0 at the center (worst-case skew fixture)."""
+    edges = np.array([(0, i) for i in range(1, num_leaves + 1)], dtype=np.int64)
+    return from_edge_array(edges, num_vertices=num_leaves + 1)
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """K_n (every pattern of size <= n appears; clique-count fixture)."""
+    edges = np.array(
+        [(u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)],
+        dtype=np.int64,
+    ).reshape(-1, 2)
+    return from_edge_array(edges, num_vertices=num_vertices)
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """A simple cycle (sparse fixture with known counts)."""
+    edges = np.array(
+        [(i, (i + 1) % num_vertices) for i in range(num_vertices)],
+        dtype=np.int64,
+    )
+    return from_edge_array(edges, num_vertices=num_vertices)

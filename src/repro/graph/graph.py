@@ -1,0 +1,209 @@
+"""Immutable CSR graph with sorted adjacency lists.
+
+The whole engine operates on this representation: ``indptr``/``indices``
+arrays in the classic CSR layout, with each vertex's neighbor list sorted
+ascending so that extensions can use merge intersections, exactly like the
+adjacency format the paper's C++ engine uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+#: Bytes used to represent one vertex id on the wire and in memory.
+VERTEX_ID_BYTES = 4
+
+
+class Graph:
+    """An undirected (or oriented) graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_vertices + 1``; neighbor list of
+        vertex ``v`` is ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        ``int32``/``int64`` array of neighbor ids, sorted ascending within
+        each vertex's slice.
+    labels:
+        Optional per-vertex label array (``int``); ``None`` for unlabeled
+        graphs.
+    directed:
+        ``True`` for oriented graphs produced by
+        :func:`repro.graph.orientation.orient_by_degree`. Undirected
+        graphs store each edge twice (both directions).
+    """
+
+    __slots__ = ("indptr", "indices", "labels", "directed", "edge_labels")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+        directed: bool = False,
+        edge_labels: Optional[np.ndarray] = None,
+    ):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int32)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphFormatError("indptr and indices must be 1-D arrays")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise GraphFormatError("indptr does not cover indices")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.int32)
+            if len(labels) != len(indptr) - 1:
+                raise GraphFormatError("labels length must equal num_vertices")
+        if edge_labels is not None:
+            edge_labels = np.asarray(edge_labels, dtype=np.int32)
+            if len(edge_labels) != len(indices):
+                raise GraphFormatError(
+                    "edge_labels length must equal the adjacency length"
+                )
+        self.indptr = indptr
+        self.indices = indices
+        self.labels = labels
+        self.directed = directed
+        self.edge_labels = edge_labels
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (undirected edges counted once)."""
+        if self.directed:
+            return len(self.indices)
+        return len(self.indices) // 2
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored (directed) adjacency entries."""
+        return len(self.indices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of vertex ``v`` (a CSR slice, no copy)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Degree (out-degree for oriented graphs) of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        """Largest degree in the graph (0 for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``(u, v)`` exists (binary search on ``N(u)``)."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < len(nbrs) and nbrs[pos] == v)
+
+    def label(self, v: int) -> int:
+        """Label of vertex ``v`` (0 for unlabeled graphs)."""
+        if self.labels is None:
+            return 0
+        return int(self.labels[v])
+
+    def edge_label(self, u: int, v: int) -> int:
+        """Label of edge ``(u, v)`` (0 for edge-unlabeled graphs).
+
+        Raises :class:`KeyError` if the edge does not exist.
+        """
+        nbrs = self.neighbors(u)
+        pos = int(np.searchsorted(nbrs, v))
+        if pos >= len(nbrs) or nbrs[pos] != v:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        if self.edge_labels is None:
+            return 0
+        return int(self.edge_labels[self.indptr[u] + pos])
+
+    def edge_label_slice(self, v: int) -> Optional[np.ndarray]:
+        """Edge labels aligned with ``neighbors(v)`` (None if unlabeled)."""
+        if self.edge_labels is None:
+            return None
+        return self.edge_labels[self.indptr[v] : self.indptr[v + 1]]
+
+    def vertices(self) -> range:
+        """Iterable over all vertex ids."""
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges; undirected edges yielded once as ``u < v``."""
+        for u in self.vertices():
+            for v in self.neighbors(u):
+                if self.directed or u < v:
+                    yield (u, int(v))
+
+    # ------------------------------------------------------------------
+    # memory accounting (used by the simulated cluster)
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Approximate in-memory size used for memory-capacity checks."""
+        n = self.num_vertices
+        size = 8 * (n + 1) + VERTEX_ID_BYTES * len(self.indices)
+        if self.labels is not None:
+            size += 4 * n
+        if self.edge_labels is not None:
+            size += 4 * len(self.indices)
+        return size
+
+    def edge_list_bytes(self, v: int) -> int:
+        """Wire size of ``N(v)``: an 8-byte header plus the vertex ids."""
+        return 8 + VERTEX_ID_BYTES * self.degree(v)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def with_labels(self, labels: Sequence[int]) -> "Graph":
+        """Return a copy of this graph with per-vertex ``labels`` attached."""
+        return Graph(self.indptr, self.indices,
+                     np.asarray(labels, dtype=np.int32), self.directed,
+                     self.edge_labels)
+
+    def subgraph_degrees_percentile(self, q: float) -> float:
+        """Degree at percentile ``q`` (skew diagnostics for generators)."""
+        return float(np.percentile(self.degrees(), q))
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"Graph({kind}, |V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"max_deg={self.max_degree()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        def _same(a, b):
+            if a is None or b is None:
+                return a is None and b is None
+            return np.array_equal(a, b)
+
+        return (
+            self.directed == other.directed
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and _same(self.labels, other.labels)
+            and _same(self.edge_labels, other.edge_labels)
+        )
+
+    def __hash__(self) -> int:  # Graphs are mutable-free; hash by identity
+        return id(self)

@@ -1,0 +1,52 @@
+"""Orientation (DAG) preprocessing for triangle/clique counting.
+
+Converts an undirected graph into a DAG by keeping only edges that point
+from lower to higher (degree, id) order. Every k-clique of the original
+graph then appears exactly once as a directed k-clique, removing the
+factorial redundancy — the Pangolin optimization the paper adopts for its
+large-scale runs (Table 5) and credits for Pangolin's TC speed (Table 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+def orient_by_degree(graph: Graph) -> Graph:
+    """Return the degree-ordered DAG orientation of ``graph``.
+
+    Edge ``(u, v)`` is kept iff ``(deg(u), u) < (deg(v), v)``, the
+    standard total order that makes clique enumeration visit each clique
+    once in ascending rank order.
+    """
+    degrees = graph.degrees()
+    indptr = np.zeros(graph.num_vertices + 1, dtype=np.int64)
+    kept: list[np.ndarray] = []
+    for u in graph.vertices():
+        nbrs = graph.neighbors(u)
+        du = degrees[u]
+        dn = degrees[nbrs]
+        mask = (dn > du) | ((dn == du) & (nbrs > u))
+        keep = nbrs[mask]
+        kept.append(keep)
+        indptr[u + 1] = indptr[u] + len(keep)
+    indices = (
+        np.concatenate(kept) if kept else np.empty(0, dtype=np.int32)
+    ).astype(np.int32)
+    return Graph(indptr, indices, graph.labels, directed=True)
+
+
+def orientation_rank(graph: Graph) -> np.ndarray:
+    """Total-order rank used by :func:`orient_by_degree`.
+
+    Vertices sorted by ``(degree, id)``; ``rank[v]`` gives the position
+    of ``v`` in that order. Useful for verifying the DAG property in
+    tests.
+    """
+    degrees = graph.degrees()
+    order = np.lexsort((np.arange(graph.num_vertices), degrees))
+    rank = np.empty(graph.num_vertices, dtype=np.int64)
+    rank[order] = np.arange(graph.num_vertices)
+    return rank

@@ -1,0 +1,58 @@
+"""Pattern machinery: pattern graphs, schedules, symmetry breaking.
+
+Everything a pattern-aware GPM system needs before touching the input
+graph lives here: the :class:`Pattern` graph type, isomorphism and
+automorphism computation, canonical codes for deduplication, GraphPi
+style symmetry-breaking restrictions, matching-order generation (both
+the Automine-style connectivity heuristic and the GraphPi-style
+cost-model search), a catalog of named patterns, and exhaustive
+generation of connected size-k patterns for motif counting and FSM.
+"""
+
+from repro.patterns.pattern import Pattern
+from repro.patterns.isomorphism import (
+    are_isomorphic,
+    automorphisms,
+    find_isomorphisms,
+)
+from repro.patterns.canonical import canonical_code
+from repro.patterns.symmetry import symmetry_restrictions
+from repro.patterns.schedule import (
+    ExtensionStep,
+    Schedule,
+    automine_schedule,
+    graphpi_schedule,
+)
+from repro.patterns.catalog import (
+    chain,
+    clique,
+    cycle,
+    house,
+    motifs,
+    star,
+    tailed_triangle,
+    triangle,
+)
+from repro.patterns.generation import connected_patterns
+
+__all__ = [
+    "Pattern",
+    "are_isomorphic",
+    "automorphisms",
+    "find_isomorphisms",
+    "canonical_code",
+    "symmetry_restrictions",
+    "ExtensionStep",
+    "Schedule",
+    "automine_schedule",
+    "graphpi_schedule",
+    "triangle",
+    "clique",
+    "chain",
+    "cycle",
+    "star",
+    "house",
+    "tailed_triangle",
+    "motifs",
+    "connected_patterns",
+]

@@ -1,0 +1,60 @@
+"""Canonical codes for small patterns.
+
+The canonical code of a pattern is the lexicographically smallest
+``(labels, edge bitmask)`` encoding over all vertex permutations. Two
+patterns are isomorphic iff their codes are equal, which gives motif
+counting and FSM a cheap dictionary key for deduplicating candidate
+patterns. Exhaustive permutation search is fine at GPM pattern sizes
+(<= 7 vertices -> <= 5040 permutations).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.patterns.pattern import Pattern
+
+CanonicalCode = tuple[tuple[int, ...], tuple[tuple[int, int, int], ...]]
+
+
+def _encode(pattern: Pattern, perm: tuple[int, ...]) -> CanonicalCode:
+    """Encode under ``perm`` (new id of old vertex ``v`` is ``perm[v]``).
+
+    Edges are encoded with their labels (0 when edge-unlabeled), so two
+    patterns share a code iff they are isomorphic including labels.
+    """
+    inverse = [0] * len(perm)
+    for old, new in enumerate(perm):
+        inverse[new] = old
+    labels = tuple(pattern.label(inverse[new]) for new in range(len(perm)))
+    edges = tuple(
+        sorted(
+            (min(perm[u], perm[v]), max(perm[u], perm[v]),
+             pattern.edge_label(u, v))
+            for u, v in pattern.edges
+        )
+    )
+    return labels, edges
+
+
+def canonical_code(pattern: Pattern) -> CanonicalCode:
+    """Smallest encoding of ``pattern`` over all vertex permutations."""
+    n = pattern.num_vertices
+    best: CanonicalCode | None = None
+    for perm in permutations(range(n)):
+        code = _encode(pattern, perm)
+        if best is None or code < best:
+            best = code
+    assert best is not None
+    return best
+
+
+def canonical_form(pattern: Pattern) -> Pattern:
+    """A concrete pattern relabeled into its canonical vertex order."""
+    labels, coded_edges = canonical_code(pattern)
+    label_arg = labels if pattern.labels is not None else None
+    edges = [(u, v) for u, v, _ in coded_edges]
+    edge_labels = None
+    if pattern.edge_labels is not None:
+        edge_labels = {(u, v): lab for u, v, lab in coded_edges}
+    return Pattern(pattern.num_vertices, edges, label_arg, edge_labels)

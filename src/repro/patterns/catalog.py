@@ -1,0 +1,61 @@
+"""Named patterns used across the paper's workloads."""
+
+from __future__ import annotations
+
+from repro.errors import PatternError
+from repro.patterns.pattern import Pattern
+
+
+def triangle() -> Pattern:
+    """Size-3 complete subgraph (the TC workload)."""
+    return clique(3)
+
+
+def clique(k: int) -> Pattern:
+    """Complete pattern on ``k`` vertices (the k-CC workloads)."""
+    if k < 2:
+        raise PatternError("clique needs at least two vertices")
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    return Pattern(k, edges)
+
+
+def chain(k: int) -> Pattern:
+    """Path on ``k`` vertices (e.g. the 6-chain of the introduction)."""
+    if k < 2:
+        raise PatternError("chain needs at least two vertices")
+    return Pattern(k, [(i, i + 1) for i in range(k - 1)])
+
+
+def cycle(k: int) -> Pattern:
+    """Cycle on ``k`` vertices."""
+    if k < 3:
+        raise PatternError("cycle needs at least three vertices")
+    return Pattern(k, [(i, (i + 1) % k) for i in range(k)])
+
+
+def star(k: int) -> Pattern:
+    """Star with ``k`` leaves (vertex 0 is the center)."""
+    if k < 1:
+        raise PatternError("star needs at least one leaf")
+    return Pattern(k + 1, [(0, i) for i in range(1, k + 1)])
+
+
+def tailed_triangle() -> Pattern:
+    """Triangle with one pendant vertex."""
+    return Pattern(4, [(0, 1), (0, 2), (1, 2), (2, 3)])
+
+
+def house() -> Pattern:
+    """4-cycle with a roof (5 vertices, 6 edges)."""
+    return Pattern(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
+
+
+def motifs(k: int) -> list[Pattern]:
+    """All connected size-``k`` patterns (the k-MC workloads).
+
+    Thin wrapper over :func:`repro.patterns.generation.connected_patterns`
+    kept here so applications only import the catalog.
+    """
+    from repro.patterns.generation import connected_patterns
+
+    return connected_patterns(k)

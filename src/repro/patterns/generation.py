@@ -1,0 +1,74 @@
+"""Exhaustive pattern generation.
+
+Motif counting needs every connected size-k pattern up to isomorphism;
+FSM grows labeled candidate patterns edge by edge. Both build on the
+canonical codes from :mod:`repro.patterns.canonical`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from functools import lru_cache
+
+from repro.errors import PatternError
+from repro.patterns.canonical import canonical_code
+from repro.patterns.pattern import Pattern
+
+
+@lru_cache(maxsize=8)
+def connected_patterns(k: int) -> list[Pattern]:
+    """All connected ``k``-vertex patterns, one per isomorphism class.
+
+    Enumerates every edge subset of K_k, keeps connected graphs, and
+    deduplicates by canonical code. Sizes match the graph-theory
+    sequence: 1, 1, 2, 6, 21 for k = 1..5.
+    """
+    if k < 1:
+        raise PatternError("pattern size must be >= 1")
+    if k == 1:
+        return [Pattern(1, [])]
+    all_edges = list(combinations(range(k), 2))
+    seen: dict[tuple, Pattern] = {}
+    for mask in range(1 << len(all_edges)):
+        edges = [all_edges[i] for i in range(len(all_edges)) if mask >> i & 1]
+        if len(edges) < k - 1:
+            continue  # too few edges to connect k vertices
+        pattern = Pattern(k, edges)
+        if not pattern.is_connected():
+            continue
+        code = canonical_code(pattern)
+        if code not in seen:
+            seen[code] = pattern
+    return list(seen.values())
+
+
+def single_edge_patterns(labels: set[int]) -> list[Pattern]:
+    """All labeled single-edge patterns over a label set (FSM seeds)."""
+    result = []
+    for a in sorted(labels):
+        for b in sorted(labels):
+            if a <= b:
+                result.append(Pattern(2, [(0, 1)], (a, b)))
+    return result
+
+
+def grow_pattern(pattern: Pattern, labels: set[int]) -> list[Pattern]:
+    """All one-edge extensions of a labeled pattern (FSM growth).
+
+    Adds either a fresh labeled vertex attached to one existing vertex,
+    or a new edge between two existing non-adjacent vertices, and
+    deduplicates by canonical code.
+    """
+    seen: dict[tuple, Pattern] = {}
+    # forward extension: new labeled vertex
+    for anchor in range(pattern.num_vertices):
+        for label in sorted(labels):
+            grown = pattern.add_vertex([anchor], label=label)
+            seen.setdefault(canonical_code(grown), grown)
+    # backward extension: close an edge between existing vertices
+    for u in range(pattern.num_vertices):
+        for v in range(u + 1, pattern.num_vertices):
+            if not pattern.has_edge(u, v):
+                grown = pattern.add_edge(u, v)
+                seen.setdefault(canonical_code(grown), grown)
+    return list(seen.values())

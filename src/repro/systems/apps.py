@@ -1,0 +1,37 @@
+"""The paper's application families, uniform over any GPM system.
+
+Triangle Counting (TC), k-Clique Counting (k-CC), and k-Motif Counting
+(k-MC) from Section 7.1. FSM lives in :mod:`repro.systems.fsm`.
+"""
+
+from __future__ import annotations
+
+from repro.core.runtime import RunReport
+from repro.patterns.canonical import canonical_code
+from repro.patterns.catalog import clique, motifs, triangle
+from repro.systems.base import GPMSystem
+
+
+def triangle_count(system: GPMSystem, oriented: bool = False) -> RunReport:
+    """TC: count size-3 complete subgraphs."""
+    return system.count_pattern(triangle(), oriented=oriented, app="TC")
+
+
+def clique_count(system: GPMSystem, k: int, oriented: bool = False) -> RunReport:
+    """k-CC: count embeddings of the k-clique pattern."""
+    return system.count_pattern(clique(k), oriented=oriented, app=f"{k}-CC")
+
+
+def motif_count(system: GPMSystem, k: int) -> RunReport:
+    """k-MC: count embeddings of every size-k pattern (vertex-induced).
+
+    The report's ``counts`` is a dict keyed by each motif's canonical
+    code, so results are comparable across systems regardless of their
+    matching orders.
+    """
+    patterns = motifs(k)
+    report = system.count_patterns(patterns, induced=True, app=f"{k}-MC")
+    report.counts = {
+        canonical_code(p): c for p, c in zip(patterns, report.counts)
+    }
+    return report

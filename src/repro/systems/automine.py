@@ -1,0 +1,24 @@
+"""k-Automine: Automine ported onto the Khuzdul engine.
+
+Automine compiles a pattern into nested loops following a greedy
+connectivity heuristic; the port reuses that compiler to emit EXTEND
+schedules (paper Section 6: "k-Automine is modified from our own
+Automine implementation AutomineIH").
+"""
+
+from __future__ import annotations
+
+from repro.patterns.pattern import Pattern
+from repro.patterns.schedule import Schedule, automine_schedule
+from repro.systems.ported import PortedSystem
+
+
+class KAutomine(PortedSystem):
+    """Distributed Automine on Khuzdul."""
+
+    name = "k-automine"
+
+    def build_schedule(
+        self, pattern: Pattern, induced: bool, use_restrictions: bool = True
+    ) -> Schedule:
+        return automine_schedule(pattern, induced, use_restrictions)

@@ -1,0 +1,77 @@
+"""Tests for the brute-force reference counter itself."""
+
+from repro.analysis import count_embeddings_brute_force
+from repro.graph import from_edges
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+from repro.patterns import Pattern, chain, clique, cycle, star
+
+
+def test_triangle_in_k4():
+    assert count_embeddings_brute_force(complete_graph(4), clique(3)) == 4
+
+
+def test_cliques_in_kn():
+    # C(6, k) k-cliques in K6
+    k6 = complete_graph(6)
+    assert count_embeddings_brute_force(k6, clique(3)) == 20
+    assert count_embeddings_brute_force(k6, clique(4)) == 15
+    assert count_embeddings_brute_force(k6, clique(5)) == 6
+
+
+def test_edges_counted_once():
+    g = from_edges([(0, 1), (1, 2)])
+    assert count_embeddings_brute_force(g, chain(2)) == 2
+
+
+def test_wedges_in_star():
+    # star with n leaves has C(n,2) wedges centered at the hub
+    assert count_embeddings_brute_force(star_graph(5), chain(3)) == 10
+
+
+def test_chains_in_cycle():
+    # a cycle of length n contains n paths of any fixed length < n
+    c6 = cycle_graph(6)
+    assert count_embeddings_brute_force(c6, chain(3)) == 6
+    assert count_embeddings_brute_force(c6, chain(4)) == 6
+    assert count_embeddings_brute_force(c6, cycle(6)) == 1
+
+
+def test_no_triangles_in_cycle():
+    assert count_embeddings_brute_force(cycle_graph(8), clique(3)) == 0
+
+
+def test_induced_vs_non_induced():
+    k4 = complete_graph(4)
+    # every 3-subset of K4 induces a triangle, so no induced wedges
+    assert count_embeddings_brute_force(k4, chain(3)) == 12
+    assert count_embeddings_brute_force(k4, chain(3), induced=True) == 0
+
+
+def test_induced_cycle():
+    # K4 has 3 four-cycles, none induced (chords everywhere)
+    k4 = complete_graph(4)
+    assert count_embeddings_brute_force(k4, cycle(4)) == 3
+    assert count_embeddings_brute_force(k4, cycle(4), induced=True) == 0
+
+
+def test_labeled_matching():
+    g = from_edges([(0, 1), (1, 2)], labels=[7, 8, 7])
+    hit = Pattern(2, [(0, 1)], labels=(7, 8))
+    miss = Pattern(2, [(0, 1)], labels=(9, 8))
+    assert count_embeddings_brute_force(g, hit) == 2
+    assert count_embeddings_brute_force(g, miss) == 0
+
+
+def test_labeled_symmetric_pattern():
+    g = from_edges([(0, 1)], labels=[5, 5])
+    p = Pattern(2, [(0, 1)], labels=(5, 5))
+    assert count_embeddings_brute_force(g, p) == 1
+
+
+def test_star_pattern_counts():
+    assert count_embeddings_brute_force(star_graph(4), star(3)) == 4  # C(4,3)
+
+
+def test_single_vertex_pattern():
+    g = from_edges([(0, 1)], num_vertices=5)
+    assert count_embeddings_brute_force(g, Pattern(1, [])) == 5

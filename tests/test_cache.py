@@ -1,0 +1,164 @@
+"""Tests for the static data cache and replacement policies."""
+
+import pytest
+
+from repro.cluster.costmodel import CostModel
+from repro.core.cache import CachePolicy, EdgeCache
+
+
+def _cache(policy=CachePolicy.STATIC, capacity=1000, threshold=4):
+    return EdgeCache(capacity, threshold, policy, CostModel())
+
+
+# ----------------------------------------------------------------------
+# static policy (paper Section 5.3)
+# ----------------------------------------------------------------------
+def test_static_admit_and_hit():
+    cache = _cache()
+    assert not cache.query(7)
+    assert cache.admit(7, 100, degree=10)
+    assert cache.query(7)
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_static_degree_threshold():
+    cache = _cache(threshold=16)
+    assert not cache.admit(1, 50, degree=3)
+    assert cache.admit(2, 50, degree=16)
+
+
+def test_static_never_evicts():
+    cache = _cache(capacity=150)
+    assert cache.admit(1, 100, degree=10)
+    assert not cache.admit(2, 100, degree=10)  # full: dropped, no evict
+    assert cache.query(1)
+    assert not cache.query(2)
+    assert cache.evictions == 0
+
+
+def test_static_full_stays_full():
+    cache = _cache(capacity=100)
+    cache.admit(1, 100, degree=10)
+    for v in range(2, 10):
+        assert not cache.admit(v, 10, degree=10)
+    assert len(cache) == 1
+
+
+def test_admit_existing_is_noop():
+    cache = _cache()
+    cache.admit(1, 100, degree=10)
+    assert cache.admit(1, 100, degree=10)
+    assert cache.inserts == 1
+
+
+# ----------------------------------------------------------------------
+# replacement policies (Figure 16)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "policy", [CachePolicy.FIFO, CachePolicy.LIFO, CachePolicy.LRU, CachePolicy.MRU]
+)
+def test_replacement_policies_admit_everything(policy):
+    cache = _cache(policy, capacity=200)
+    assert cache.admit(1, 100, degree=1)  # below static threshold: still in
+    assert cache.admit(2, 100, degree=1)
+    assert cache.admit(3, 100, degree=1)  # triggers eviction
+    assert cache.evictions >= 1
+    assert len(cache) == 2
+
+
+def test_fifo_evicts_oldest():
+    cache = _cache(CachePolicy.FIFO, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.query(1)  # recency must NOT matter for FIFO
+    cache.admit(3, 100, 9)
+    assert not cache.query(1)
+    assert cache.query(2)
+
+
+def test_lifo_evicts_newest():
+    cache = _cache(CachePolicy.LIFO, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.admit(3, 100, 9)
+    assert cache.query(1)
+    assert not cache.query(2)
+
+
+def test_lru_evicts_least_recent():
+    cache = _cache(CachePolicy.LRU, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.query(1)  # touch 1 so 2 is least recent
+    cache.admit(3, 100, 9)
+    assert cache.query(1)
+    assert not cache.query(2)
+
+
+def test_mru_evicts_most_recent():
+    cache = _cache(CachePolicy.MRU, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.query(1)  # 1 becomes most recent
+    cache.admit(3, 100, 9)
+    assert not cache.query(1)
+    assert cache.query(2)
+
+
+def test_oversized_entry_rejected():
+    cache = _cache(CachePolicy.LRU, capacity=100)
+    assert not cache.admit(1, 500, degree=9)
+
+
+# ----------------------------------------------------------------------
+# cost accounting (Section 7.6 behaviours)
+# ----------------------------------------------------------------------
+def test_drain_cost_resets():
+    cache = _cache()
+    cache.query(1)
+    first = cache.drain_cost()
+    assert first > 0
+    assert cache.drain_cost() == 0.0
+
+
+def test_replacement_costs_exceed_static():
+    """Replacement policies pay policy updates + dynamic allocation."""
+    cost = CostModel()
+    static = EdgeCache(10_000, 0, CachePolicy.STATIC, cost)
+    lru = EdgeCache(10_000, 0, CachePolicy.LRU, cost)
+    for v in range(50):
+        static.query(v)
+        static.admit(v, 100, degree=10)
+        lru.query(v)
+        lru.admit(v, 100, degree=10)
+    assert lru.drain_cost() > static.drain_cost()
+
+
+def test_fragmentation_grows_with_churn():
+    cost = CostModel().derive(cache_fragmentation_rate=0.5)
+    cache = EdgeCache(100, 0, CachePolicy.LRU, cost)
+    cache.admit(0, 100, 1)
+    cache.drain_cost()
+    cache.admit(1, 100, 1)  # one evict + one insert
+    first_churn = cache.drain_cost()
+    for v in range(2, 6):
+        cache.admit(v, 100, 1)
+    later_churn = cache.drain_cost() / 4
+    assert later_churn > first_churn
+
+
+def test_l3_spill_raises_query_cost():
+    cost = CostModel()
+    small = EdgeCache(10_000_000, 0, CachePolicy.STATIC, cost)
+    small.query(1)
+    cheap = small.drain_cost()
+    big = EdgeCache(10_000_000, 0, CachePolicy.STATIC, cost)
+    big.admit(1, cost.l3_bytes * 2, degree=10**6)
+    big.drain_cost()
+    big.query(2)
+    expensive = big.drain_cost()
+    assert expensive > cheap
+
+
+def test_hit_rate_empty():
+    assert _cache().hit_rate() == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import _parse_pattern, main
+from repro.patterns import catalog
+
+
+def test_parse_catalog_patterns():
+    assert _parse_pattern("clique4") == catalog.clique(4)
+    assert _parse_pattern("chain3") == catalog.chain(3)
+    assert _parse_pattern("cycle5") == catalog.cycle(5)
+    assert _parse_pattern("star3") == catalog.star(3)
+    assert _parse_pattern("house") == catalog.house()
+    assert _parse_pattern("tailed_triangle") == catalog.tailed_triangle()
+
+
+def test_parse_explicit_edge_list():
+    pattern = _parse_pattern("0-1,1-2,0-2")
+    assert pattern == catalog.clique(3)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(SystemExit):
+        _parse_pattern("dodecahedron")
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "mico" in out and "wdc" in out
+
+
+def test_count_command(capsys):
+    code = main([
+        "count", "--graph", "mico", "--scale", "0.3",
+        "--pattern", "clique3", "--machines", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "count=" in out
+    assert "breakdown" in out
+
+
+def test_count_oriented(capsys):
+    code = main([
+        "count", "--graph", "mico", "--scale", "0.3",
+        "--pattern", "clique3", "--oriented", "--machines", "2",
+    ])
+    assert code == 0
+
+
+def test_motifs_command(capsys):
+    code = main([
+        "motifs", "--graph", "mico", "--scale", "0.3", "--size", "3",
+        "--machines", "2", "--system", "k-graphpi",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "simulated" in out
+
+
+def test_fsm_command(capsys):
+    code = main([
+        "fsm", "--graph", "mico", "--scale", "0.3", "--threshold", "25",
+        "--machines", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "frequent patterns" in out
+
+
+def test_experiment_command(capsys):
+    code = main(["experiment", "table7", "--scale", "0.15"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 7" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

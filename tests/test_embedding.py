@@ -1,0 +1,105 @@
+"""Tests for extendable embeddings and their lifecycle (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import (
+    EMBEDDING_BASE_BYTES,
+    EdgeListSource,
+    ExtendableEmbedding,
+)
+from repro.core.states import EmbeddingState
+
+
+def _chain(*vertices, needs=True):
+    parent = None
+    chain = []
+    for level, v in enumerate(vertices):
+        parent = ExtendableEmbedding(v, level, parent, needs)
+        chain.append(parent)
+    return chain
+
+
+def test_vertices_walks_parent_chain():
+    chain = _chain(4, 9, 2)
+    assert chain[-1].vertices() == (4, 9, 2)
+    assert chain[0].vertices() == (4,)
+
+
+def test_initial_state_depends_on_fetch():
+    assert _chain(1)[0].state is EmbeddingState.PENDING
+    assert _chain(1, needs=False)[0].state is EmbeddingState.READY
+
+
+def test_mark_ready_records_source():
+    emb = _chain(1)[0]
+    emb.mark_ready(EdgeListSource.CACHE)
+    assert emb.state is EmbeddingState.READY
+    assert emb.source is EdgeListSource.CACHE
+
+
+def test_zombie_without_children_terminates():
+    emb = _chain(1)[0]
+    emb.mark_ready(EdgeListSource.LOCAL)
+    emb.mark_zombie()
+    assert emb.state is EmbeddingState.TERMINATED
+
+
+def test_zombie_with_children_waits():
+    root, child = _chain(1, 2)
+    root.mark_zombie()
+    assert root.state is EmbeddingState.ZOMBIE
+    child.mark_zombie()
+    assert child.state is EmbeddingState.TERMINATED
+    assert root.state is EmbeddingState.TERMINATED
+
+
+def test_bottom_up_release_order():
+    """Termination cascades from leaves to the root (Section 3.3)."""
+    root, mid, leaf = _chain(1, 2, 3)
+    root.mark_zombie()
+    mid.mark_zombie()
+    assert root.state is EmbeddingState.ZOMBIE
+    assert mid.state is EmbeddingState.ZOMBIE
+    leaf.mark_zombie()
+    assert mid.state is EmbeddingState.TERMINATED
+    assert root.state is EmbeddingState.TERMINATED
+
+
+def test_multiple_children_counted():
+    root = ExtendableEmbedding(0, 0, None, False)
+    kids = [ExtendableEmbedding(i, 1, root, False) for i in (1, 2, 3)]
+    root.mark_zombie()
+    for kid in kids[:-1]:
+        kid.mark_zombie()
+        assert root.state is EmbeddingState.ZOMBIE
+    kids[-1].mark_zombie()
+    assert root.state is EmbeddingState.TERMINATED
+
+
+def test_ancestor_lookup():
+    chain = _chain(5, 6, 7, 8)
+    leaf = chain[-1]
+    assert leaf.ancestor(0) is chain[0]
+    assert leaf.ancestor(2) is chain[2]
+    assert leaf.ancestor(3) is leaf
+    with pytest.raises(ValueError):
+        chain[0].ancestor(2)
+
+
+def test_intermediate_at_reads_ancestor():
+    chain = _chain(5, 6, 7)
+    stored = np.array([1, 2, 3])
+    chain[1].intermediate = stored
+    assert chain[2].intermediate_at(1) is stored
+    assert chain[2].intermediate_at(0) is None
+
+
+def test_base_bytes():
+    emb = _chain(1)[0]
+    assert emb.stored_bytes == EMBEDDING_BASE_BYTES
+
+
+def test_repr_shows_vertices():
+    emb = _chain(3, 1)[1]
+    assert "(3, 1)" in repr(emb)

@@ -1,0 +1,48 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    OutOfMemoryError,
+    PatternError,
+    ReproError,
+    ScheduleError,
+    TimeoutError,
+)
+
+
+def test_all_errors_are_repro_errors():
+    for exc_type in (
+        GraphFormatError,
+        PatternError,
+        ScheduleError,
+        OutOfMemoryError,
+        TimeoutError,
+        ConfigurationError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_oom_attributes_and_message():
+    exc = OutOfMemoryError(3, 2048, 1024)
+    assert exc.machine_id == 3
+    assert exc.needed_bytes == 2048
+    assert exc.capacity_bytes == 1024
+    assert "machine 3" in str(exc)
+    assert "2048" in str(exc)
+
+
+def test_timeout_attributes_and_message():
+    exc = TimeoutError(120.5, 60.0)
+    assert exc.simulated_seconds == 120.5
+    assert exc.budget_seconds == 60.0
+    assert "120.5" in str(exc)
+
+
+def test_errors_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise OutOfMemoryError(0, 1, 0)
+    with pytest.raises(ReproError):
+        raise ScheduleError("bad order")

@@ -1,0 +1,100 @@
+"""Tests for the experiment harness (scaled-down smoke runs)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ABBR,
+    EXPERIMENTS,
+    fig11,
+    fig19,
+    memory_ratio,
+    node_memory_bytes,
+    run_experiment,
+    table7,
+)
+from repro.graph import dataset
+
+
+def test_memory_ratios_follow_paper():
+    # small graphs: capped; medium graphs: single-digit; massive: < 1
+    assert memory_ratio("mico") == 4096
+    assert 5 < memory_ratio("uk") < 12
+    assert memory_ratio("wdc") < 0.2
+
+
+def test_node_memory_scales_with_graph():
+    graph = dataset("patents", scale=0.25)
+    assert node_memory_bytes("patents", graph) > graph.size_bytes() * 100
+
+
+def test_every_experiment_registered():
+    expected = {
+        "table2", "table3", "table4", "table5", "table6", "table7",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig17", "fig18", "fig19",
+        "ablation_hds_chaining", "ablation_circulant",
+        "ablation_cache_threshold",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_abbreviations_cover_datasets():
+    from repro.graph.datasets import DATASETS
+
+    assert set(ABBR) == set(DATASETS)
+
+
+# quick smoke runs at tiny scale: rows exist and have the right shape
+def test_fig11_smoke():
+    result = fig11(scale=0.2)
+    assert result.experiment == "Figure 11"
+    assert len(result.rows) == 8
+    for row in result.rows:
+        assert row["speedup"].endswith("x")
+        # VCS must never make things slower in the model
+        assert float(row["speedup"][:-1]) >= 0.99
+
+
+def test_table7_smoke():
+    result = table7(scale=0.2)
+    for row in result.rows:
+        gain = float(row["gain"][:-1])
+        assert 1.0 <= gain < 2.0  # paper band: 1.02-1.53x
+
+
+def test_fig19_smoke():
+    result = fig19(scale=0.2)
+    for row in result.rows:
+        utilization = float(row["net-utilization"].rstrip("%"))
+        assert 0.0 <= utilization <= 100.0
+
+
+def test_result_round_trip_format():
+    result = fig11(scale=0.15)
+    text = result.format()
+    assert "Figure 11" in text
+    md = result.to_markdown()
+    assert md.startswith("### Figure 11")
+
+
+def test_ablation_circulant_smoke():
+    from repro.analysis.experiments import ablation_circulant
+
+    result = ablation_circulant(scale=0.15)
+    for row in result.rows:
+        # pipelining must never lose to serialized fetches
+        assert float(row["speedup"][:-1]) >= 0.99
+
+
+def test_ablation_hds_chaining_smoke():
+    from repro.analysis.experiments import ablation_hds_chaining
+
+    result = ablation_hds_chaining(scale=0.15)
+    for row in result.rows:
+        # chaining never fetches more than dropping
+        assert row["traffic(chain)"][1] <= row["traffic(drop)"][1]

@@ -1,0 +1,132 @@
+"""Tests for the Fractal-like pattern-oblivious baseline."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.analysis import count_embeddings_brute_force
+from repro.baselines import FractalLike, SingleMachine
+from repro.errors import ConfigurationError, TimeoutError
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi, random_labels
+from repro.patterns import Pattern, chain, clique, star
+from repro.patterns.canonical import canonical_code
+from repro.systems import run_fsm
+
+
+def _brute_force_connected_edge_subsets(graph, max_edges):
+    """Reference: all connected edge subsets of size <= max_edges."""
+    edges = list(graph.edges())
+    count = 0
+    for k in range(1, max_edges + 1):
+        for subset in combinations(edges, k):
+            touched = {}
+            for u, v in subset:
+                touched.setdefault(u, set()).add(v)
+                touched.setdefault(v, set()).add(u)
+            vertices = list(touched)
+            seen = {vertices[0]}
+            frontier = [vertices[0]]
+            while frontier:
+                x = frontier.pop()
+                for y in touched[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        frontier.append(y)
+            if len(seen) == len(vertices):
+                count += 1
+    return count
+
+
+def test_enumeration_counts_every_subset_once():
+    graph = erdos_renyi(14, 28, seed=5)
+    system = FractalLike(graph, num_machines=2)
+    stats, _ = system._enumerate()
+    total = sum(entry.count for entry in stats.values())
+    assert total == _brute_force_connected_edge_subsets(graph, 3)
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    [chain(2), chain(3), clique(3), star(3), chain(4)],
+    ids=["edge", "wedge", "triangle", "star3", "path4"],
+)
+def test_fractal_counts_match_brute_force(pattern, small_random_graph):
+    expected = count_embeddings_brute_force(small_random_graph, pattern)
+    system = FractalLike(small_random_graph, num_machines=2)
+    assert system.count_pattern(pattern).counts == expected
+
+
+def test_labeled_counts():
+    g = from_edges([(0, 1), (1, 2), (0, 2), (2, 3)], labels=[0, 0, 1, 1])
+    system = FractalLike(g)
+    tri = Pattern(3, [(0, 1), (0, 2), (1, 2)], (0, 0, 1))
+    assert system.count_pattern(tri).counts == 1
+    edge_01 = Pattern(2, [(0, 1)], (0, 1))
+    assert system.count_pattern(edge_01).counts == 2  # (1,2) and (0,2)
+    edge_11 = Pattern(2, [(0, 1)], (1, 1))
+    assert system.count_pattern(edge_11).counts == 1  # (2,3)
+    edge_00 = Pattern(2, [(0, 1)], (0, 0))
+    assert system.count_pattern(edge_00).counts == 1  # (0,1)
+
+
+def test_large_patterns_rejected(small_random_graph):
+    system = FractalLike(small_random_graph)
+    with pytest.raises(ConfigurationError):
+        system.count_pattern(clique(4))  # 6 edges > 3
+    with pytest.raises(ConfigurationError):
+        system.count_pattern(clique(3), induced=True)
+
+
+def test_fsm_agrees_with_pattern_aware(labeled_graph):
+    aware = run_fsm(SingleMachine(labeled_graph), threshold=6)
+    oblivious = FractalLike(labeled_graph).all_frequent(6)
+    aware_set = {(canonical_code(p), s) for p, s in aware.frequent}
+    oblivious_set = {(canonical_code(p), s) for p, s in oblivious}
+    assert aware_set == oblivious_set
+
+
+def test_mni_supports_interface(labeled_graph):
+    patterns = [Pattern(2, [(0, 1)], (0, 0)), Pattern(2, [(0, 1)], (0, 1))]
+    fractal_supports, _ = FractalLike(labeled_graph).mni_supports(patterns)
+    aware_supports, _ = SingleMachine(labeled_graph).mni_supports(patterns)
+    assert fractal_supports == aware_supports
+
+
+def test_timeout_on_subgraph_explosion():
+    graph = erdos_renyi(80, 900, seed=9)
+    system = FractalLike(graph, max_subgraphs=1000)
+    with pytest.raises(TimeoutError):
+        system.count_pattern(clique(3))
+
+
+def test_time_budget_timeout():
+    graph = erdos_renyi(60, 500, seed=9)
+    system = FractalLike(graph, time_budget=1e-12)
+    with pytest.raises(TimeoutError):
+        system.count_pattern(clique(3))
+
+
+def test_enumeration_cached():
+    graph = erdos_renyi(20, 40, seed=1)
+    system = FractalLike(graph)
+    first = system._enumerate()
+    assert system._enumerate() is first
+
+
+def test_fsm_report(labeled_graph):
+    system = FractalLike(labeled_graph)
+    report = system.fsm_report(threshold=6)
+    assert report.simulated_seconds > 0
+    assert report.counts == len(system.all_frequent(6))
+
+
+def test_oblivious_slower_than_pattern_aware_per_pattern(labeled_graph):
+    """The pattern-oblivious tax: Fractal pays for every subgraph."""
+    fractal = FractalLike(labeled_graph)
+    aware = SingleMachine(labeled_graph)
+    pattern = Pattern(2, [(0, 1)], (0, 1))
+    assert (
+        fractal.count_pattern(pattern).simulated_seconds
+        > aware.count_pattern(pattern).simulated_seconds
+    )

@@ -1,0 +1,125 @@
+"""Tests for synthetic graph generators and dataset analogues."""
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import DATASETS, DatasetSpec, dataset
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    power_law_graph,
+    random_labels,
+    star_graph,
+)
+
+
+def test_erdos_renyi_edge_count():
+    g = erdos_renyi(100, 300, seed=1)
+    assert g.num_edges == 300
+    assert g.num_vertices == 100
+
+
+def test_erdos_renyi_deterministic():
+    assert erdos_renyi(50, 100, seed=9) == erdos_renyi(50, 100, seed=9)
+    assert erdos_renyi(50, 100, seed=9) != erdos_renyi(50, 100, seed=10)
+
+
+def test_erdos_renyi_dense_cap():
+    # requesting more edges than possible caps at the complete graph
+    g = erdos_renyi(5, 100, seed=0)
+    assert g.num_edges == 10
+
+
+def test_power_law_skew_increases_with_smaller_exponent():
+    flat = power_law_graph(300, 1500, exponent=3.5, seed=4)
+    skewed = power_law_graph(300, 1500, exponent=1.9, seed=4)
+    assert skewed.max_degree() > flat.max_degree()
+
+
+def test_power_law_max_degree_cap():
+    g = power_law_graph(300, 1500, exponent=1.9, max_degree=40, seed=4)
+    # the cap is on the expected degree; allow modest stochastic overshoot
+    assert g.max_degree() <= 80
+
+
+def test_power_law_simple_graph():
+    g = power_law_graph(100, 400, seed=2)
+    for v in g.vertices():
+        nbrs = list(g.neighbors(v))
+        assert v not in nbrs
+        assert nbrs == sorted(set(nbrs))
+
+
+def test_random_labels_range_and_determinism():
+    g = random_labels(erdos_renyi(40, 80, seed=0), 4, seed=5)
+    assert g.labels is not None
+    assert set(int(x) for x in g.labels) <= set(range(4))
+    g2 = random_labels(erdos_renyi(40, 80, seed=0), 4, seed=5)
+    assert np.array_equal(g.labels, g2.labels)
+
+
+def test_star_complete_cycle_fixture_shapes():
+    assert star_graph(7).num_edges == 7
+    assert complete_graph(6).num_edges == 15
+    assert cycle_graph(5).num_edges == 5
+
+
+# ----------------------------------------------------------------------
+# dataset analogues
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_every_dataset_builds(name):
+    g = dataset(name, scale=0.25)
+    assert g.num_vertices > 0
+    assert g.num_edges > 0
+
+
+def test_dataset_relative_size_ordering():
+    small = dataset("mico")
+    medium = dataset("friendster")
+    large = dataset("wdc")
+    assert small.num_edges < medium.num_edges < large.num_edges
+
+
+def test_patents_low_skew_vs_livejournal():
+    """Patents is the paper's less-skewed graph; the analogue preserves it."""
+    pt = dataset("patents")
+    lj = dataset("livejournal")
+    assert pt.max_degree() < lj.max_degree() / 3
+
+
+def test_dataset_memoization():
+    assert dataset("mico") is dataset("mico")
+    assert dataset("mico") is not dataset("mico", scale=0.5)
+
+
+def test_dataset_labeled_variant():
+    g = dataset("mico", labeled=True)
+    assert g.labels is not None
+    assert dataset("mico").labels is None
+
+
+def test_dataset_unknown_name():
+    with pytest.raises(KeyError):
+        dataset("nonexistent")
+
+
+def test_dataset_scaling_changes_size():
+    full = dataset("patents")
+    half = dataset("patents", scale=0.5)
+    assert half.num_vertices < full.num_vertices
+    assert half.num_edges < full.num_edges
+
+
+def test_spec_scaled_floors():
+    spec = DatasetSpec("x", 1, 1, 100, 200, 2.0, 50, 0)
+    tiny = spec.scaled(1e-9)
+    assert tiny.num_vertices >= 8
+    assert tiny.max_degree >= 4
+
+
+def test_paper_metadata_recorded():
+    spec = DATASETS["wdc"]
+    assert spec.paper_edges == pytest.approx(128.7e9)
+    assert spec.paper_vertices == pytest.approx(3.5e9)

@@ -1,0 +1,53 @@
+"""Tests for the horizontal data sharing hash table (Section 5.2)."""
+
+from repro.core.hds import HorizontalShareTable, ProbeOutcome
+
+
+def test_insert_then_hit():
+    table = HorizontalShareTable(64)
+    assert table.probe(5) is ProbeOutcome.INSERTED
+    assert table.probe(5) is ProbeOutcome.HIT
+    assert table.hits == 1
+    assert table.inserts == 1
+
+
+def test_collisions_are_dropped_not_chained():
+    table = HorizontalShareTable(1)  # everything collides
+    assert table.probe(1) is ProbeOutcome.INSERTED
+    assert table.probe(2) is ProbeOutcome.DROPPED
+    assert table.probe(2) is ProbeOutcome.DROPPED  # never inserted
+    assert table.probe(1) is ProbeOutcome.HIT  # original entry intact
+    assert table.drops == 2
+
+
+def test_clear_resets_slots_keeps_stats():
+    table = HorizontalShareTable(64)
+    table.probe(1)
+    table.probe(1)
+    table.clear()
+    assert table.probe(1) is ProbeOutcome.INSERTED
+    assert table.hits == 1  # stats survive for reporting
+    assert table.probes == 3
+
+
+def test_distinct_vertices_distinct_slots_mostly():
+    table = HorizontalShareTable(4096)
+    outcomes = [table.probe(v) for v in range(200)]
+    inserted = sum(1 for o in outcomes if o is ProbeOutcome.INSERTED)
+    # multiplicative hashing into 4096 slots: few collisions among 200
+    assert inserted >= 190
+
+
+def test_minimum_one_slot():
+    table = HorizontalShareTable(0)
+    assert table.num_slots == 1
+    table.probe(1)
+    assert table.probe(99) is ProbeOutcome.DROPPED
+
+
+def test_dedup_rate_reflects_requests():
+    table = HorizontalShareTable(1024)
+    for _ in range(10):
+        table.probe(42)
+    assert table.hits == 9
+    assert table.inserts == 1

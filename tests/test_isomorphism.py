@@ -1,0 +1,110 @@
+"""Tests for pattern isomorphism and automorphism computation."""
+
+import math
+
+import pytest
+
+from repro.patterns import (
+    Pattern,
+    are_isomorphic,
+    automorphisms,
+    chain,
+    clique,
+    cycle,
+    find_isomorphisms,
+    star,
+    tailed_triangle,
+)
+
+
+@pytest.mark.parametrize(
+    "pattern,expected",
+    [
+        (clique(3), 6),
+        (clique(4), 24),
+        (clique(5), 120),
+        (chain(2), 2),
+        (chain(3), 2),
+        (chain(4), 2),
+        (cycle(4), 8),
+        (cycle(5), 10),
+        (star(3), 6),
+        (star(4), 24),
+        (tailed_triangle(), 2),
+    ],
+)
+def test_automorphism_group_sizes(pattern, expected):
+    assert len(automorphisms(pattern)) == expected
+
+
+def test_identity_always_present():
+    for pattern in (clique(3), chain(4), star(3)):
+        assert tuple(range(pattern.num_vertices)) in automorphisms(pattern)
+
+
+def test_automorphisms_are_permutations():
+    for perm in automorphisms(cycle(5)):
+        assert sorted(perm) == list(range(5))
+
+
+def test_isomorphic_relabelings():
+    p = tailed_triangle()
+    q = p.relabel([3, 1, 0, 2])
+    assert are_isomorphic(p, q)
+    assert len(find_isomorphisms(p, q)) == len(automorphisms(p))
+
+
+def test_non_isomorphic_same_size():
+    # wedge vs triangle: same vertices, different edges
+    assert not are_isomorphic(chain(3), clique(3))
+    # star(3) vs chain(4): same vertex and edge counts
+    assert not are_isomorphic(star(3), chain(4))
+
+
+def test_different_sizes_not_isomorphic():
+    assert not are_isomorphic(clique(3), clique(4))
+    assert find_isomorphisms(clique(3), clique(4)) == []
+
+
+def test_labels_break_symmetry():
+    plain = Pattern(2, [(0, 1)])
+    labeled = Pattern(2, [(0, 1)], labels=(1, 2))
+    same = Pattern(2, [(0, 1)], labels=(1, 1))
+    assert len(automorphisms(plain)) == 2
+    assert len(automorphisms(labeled)) == 1
+    assert len(automorphisms(same)) == 2
+
+
+def test_labeled_isomorphism_respects_labels():
+    a = Pattern(2, [(0, 1)], labels=(1, 2))
+    b = Pattern(2, [(0, 1)], labels=(2, 1))
+    c = Pattern(2, [(0, 1)], labels=(1, 3))
+    assert are_isomorphic(a, b)
+    assert not are_isomorphic(a, c)
+
+
+def test_labeled_vs_unlabeled_never_isomorphic_with_label_mismatch():
+    a = Pattern(3, [(0, 1), (1, 2)], labels=(0, 0, 0))
+    b = Pattern(3, [(0, 1), (1, 2)])
+    # unlabeled patterns have implicit label 0, so these do match
+    assert are_isomorphic(a, b)
+
+
+def test_mapping_preserves_edges():
+    p = cycle(5)
+    q = p.relabel([2, 4, 0, 1, 3])
+    for mapping in find_isomorphisms(p, q):
+        for u, v in p.edges:
+            assert q.has_edge(mapping[u], mapping[v])
+
+
+def test_single_vertex():
+    p = Pattern(1, [])
+    assert len(automorphisms(p)) == 1
+    assert are_isomorphic(p, Pattern(1, []))
+
+
+def test_automorphism_count_divides_factorial():
+    for pattern in (clique(4), cycle(4), star(3), tailed_triangle()):
+        n = pattern.num_vertices
+        assert math.factorial(n) % len(automorphisms(pattern)) == 0

@@ -1,0 +1,66 @@
+"""Tests for degree-orientation (DAG) preprocessing."""
+
+import numpy as np
+
+from repro.analysis import count_embeddings_brute_force
+from repro.baselines.common import ExploreStats, RecursiveExplorer
+from repro.core.extend import ScheduleExtender
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.graph.orientation import orient_by_degree, orientation_rank
+from repro.patterns import clique
+from repro.patterns.schedule import automine_schedule
+
+
+def test_orientation_halves_directed_entries(small_random_graph):
+    dag = orient_by_degree(small_random_graph)
+    assert dag.num_directed_edges * 2 == small_random_graph.num_directed_edges
+    assert dag.directed
+
+
+def test_orientation_is_acyclic(small_random_graph):
+    dag = orient_by_degree(small_random_graph)
+    rank = orientation_rank(small_random_graph)
+    for u in dag.vertices():
+        for v in dag.neighbors(u):
+            assert rank[u] < rank[int(v)]
+
+
+def test_orientation_points_to_higher_degree(star10):
+    dag = orient_by_degree(star10)
+    # all leaves point at the hub, never the reverse
+    assert dag.degree(0) == 0
+    for leaf in range(1, 11):
+        assert list(dag.neighbors(leaf)) == [0]
+
+
+def test_orientation_preserves_triangle_count(small_random_graph):
+    expected = count_embeddings_brute_force(small_random_graph, clique(3))
+    dag = orient_by_degree(small_random_graph)
+    schedule = automine_schedule(clique(3), use_restrictions=False)
+    explorer = RecursiveExplorer(dag, ScheduleExtender(schedule))
+    stats = ExploreStats()
+    for root in dag.vertices():
+        explorer.explore_root(root, stats)
+    assert stats.matches == expected
+
+
+def test_orientation_preserves_4clique_count(small_random_graph):
+    expected = count_embeddings_brute_force(small_random_graph, clique(4))
+    dag = orient_by_degree(small_random_graph)
+    schedule = automine_schedule(clique(4), use_restrictions=False)
+    explorer = RecursiveExplorer(dag, ScheduleExtender(schedule))
+    stats = ExploreStats()
+    for root in dag.vertices():
+        explorer.explore_root(root, stats)
+    assert stats.matches == expected
+
+
+def test_orientation_keeps_labels():
+    g = erdos_renyi(20, 40, seed=0).with_labels(list(range(20)))
+    dag = orient_by_degree(g)
+    assert np.array_equal(dag.labels, g.labels)
+
+
+def test_orientation_rank_is_permutation(small_random_graph):
+    rank = orientation_rank(small_random_graph)
+    assert sorted(rank.tolist()) == list(range(small_random_graph.num_vertices))

@@ -1,0 +1,128 @@
+"""Tests for the Pattern graph type."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import Pattern, chain, clique, cycle, star
+
+
+def test_basic_construction():
+    p = Pattern(3, [(0, 1), (1, 2)])
+    assert p.num_vertices == 3
+    assert p.num_edges == 2
+    assert p.has_edge(0, 1) and p.has_edge(1, 0)
+    assert not p.has_edge(0, 2)
+
+
+def test_duplicate_edges_collapse():
+    p = Pattern(2, [(0, 1), (1, 0), (0, 1)])
+    assert p.num_edges == 1
+
+
+def test_self_loop_rejected():
+    with pytest.raises(PatternError):
+        Pattern(2, [(0, 0)])
+
+
+def test_out_of_range_edge_rejected():
+    with pytest.raises(PatternError):
+        Pattern(2, [(0, 2)])
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(PatternError):
+        Pattern(0, [])
+
+
+def test_label_validation():
+    with pytest.raises(PatternError):
+        Pattern(2, [(0, 1)], labels=[1])
+
+
+def test_neighbors_and_degree():
+    p = star(3)
+    assert p.degree(0) == 3
+    assert p.neighbors(0) == frozenset({1, 2, 3})
+    assert p.neighbors(1) == frozenset({0})
+
+
+def test_connectivity():
+    assert clique(4).is_connected()
+    assert not Pattern(3, [(0, 1)]).is_connected()
+    assert Pattern(1, []).is_connected()
+
+
+def test_relabel_preserves_structure():
+    p = chain(3)  # 0-1-2
+    q = p.relabel([2, 0, 1])  # old 0 -> new 2, old 1 -> new 0, old 2 -> new 1
+    assert q.has_edge(2, 0)
+    assert q.has_edge(0, 1)
+    assert not q.has_edge(2, 1)
+
+
+def test_relabel_moves_labels():
+    p = Pattern(3, [(0, 1), (1, 2)], labels=(7, 8, 9))
+    q = p.relabel([1, 2, 0])
+    assert q.labels == (9, 7, 8)
+
+
+def test_add_vertex():
+    p = chain(2).add_vertex([1])
+    assert p.num_vertices == 3
+    assert p.has_edge(1, 2)
+
+
+def test_add_vertex_with_label():
+    p = Pattern(2, [(0, 1)], labels=(1, 2)).add_vertex([0], label=3)
+    assert p.labels == (1, 2, 3)
+
+
+def test_add_vertex_requires_attachment():
+    with pytest.raises(PatternError):
+        chain(2).add_vertex([])
+
+
+def test_add_edge():
+    p = chain(3).add_edge(0, 2)
+    assert p.num_edges == 3
+    assert p.has_edge(0, 2)
+
+
+def test_labels_default_zero():
+    p = chain(2)
+    assert p.label(0) == 0
+    labeled = p.with_labels([4, 5])
+    assert labeled.label(1) == 5
+    assert labeled.unlabeled().labels is None
+
+
+def test_equality_and_hash():
+    a = Pattern(3, [(0, 1), (1, 2)])
+    b = Pattern(3, [(1, 2), (0, 1)])
+    c = Pattern(3, [(0, 1), (0, 2)])
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+    assert a != a.with_labels([1, 2, 3])
+
+
+def test_patterns_usable_as_dict_keys():
+    d = {clique(3): "triangle", chain(3): "wedge"}
+    assert d[Pattern(3, [(0, 1), (0, 2), (1, 2)])] == "triangle"
+
+
+def test_catalog_shapes():
+    assert clique(4).num_edges == 6
+    assert chain(5).num_edges == 4
+    assert cycle(5).num_edges == 5
+    assert star(4).num_edges == 4
+
+
+def test_catalog_validation():
+    with pytest.raises(PatternError):
+        clique(1)
+    with pytest.raises(PatternError):
+        chain(1)
+    with pytest.raises(PatternError):
+        cycle(2)
+    with pytest.raises(PatternError):
+        star(0)
