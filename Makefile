@@ -1,0 +1,19 @@
+# Convenience targets. Everything assumes the in-tree layout
+# (PYTHONPATH=src); no installation required.
+
+PYTHON ?= python
+PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test docs-check bench
+
+## tier-1: the full unit/integration suite
+test:
+	$(PYTEST) -x -q
+
+## fail if the observability surface and docs/metrics.md disagree
+docs-check:
+	$(PYTEST) tests/test_docs_contract.py -q
+
+## paper-figure benchmark suite (slow)
+bench:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks -q

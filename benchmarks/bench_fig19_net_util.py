@@ -1,4 +1,10 @@
-"""Figure 19 (see DESIGN.md experiment index)."""
+"""Figure 19 (see DESIGN.md experiment index).
+
+Runs instrumented (``repro.obs``): besides the paper's peak-link
+utilization, each row carries the per-machine utilization spread, the
+circulant batch count, and the responder-side serve share taken from
+the run's observability summary.
+"""
 
 from repro.analysis.experiments import fig19
 
@@ -10,3 +16,6 @@ def test_fig19(benchmark):
     print()
     print(result.format())
     assert result.rows, "experiment produced no rows"
+    assert all(r["batches"] > 0 for r in result.rows), (
+        "observability summary reported no communication batches"
+    )

@@ -3,10 +3,16 @@
 Usage:
 
     python -m repro count --graph livejournal --pattern clique4
+    python -m repro count --graph mico --pattern clique4 --metrics table
     python -m repro motifs --graph mico --size 3 --machines 8
     python -m repro fsm --graph mico --threshold 30
     python -m repro experiment table2 --scale 0.5
     python -m repro datasets
+
+``--metrics table`` prints the per-machine compute/communication/cache
+breakdown after the run; ``--metrics json`` replaces the normal output
+with one JSON document (report + counters + trace summary) suitable
+for piping into ``jq``. See docs/metrics.md for every emitted metric.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.cluster import ClusterConfig
 from repro.graph import dataset
 from repro.graph.datasets import DATASETS
+from repro.obs import Observability
+from repro.obs.render import render_metrics_json, render_metrics_table
 from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
 from repro.systems import KAutomine, KGraphPi, motif_count, run_fsm
@@ -56,8 +64,19 @@ def _build_system(args):
         cores_per_machine=args.cores,
         sockets_per_machine=args.sockets,
     )
+    obs = Observability() if args.metrics != "off" else None
     cls = KGraphPi if args.system == "k-graphpi" else KAutomine
-    return cls(graph, config, graph_name=args.graph)
+    return cls(graph, config, graph_name=args.graph, obs=obs)
+
+
+def _emit_metrics(args, system, report) -> bool:
+    """Print the requested metrics view; True if JSON replaced output."""
+    if args.metrics == "json":
+        print(render_metrics_json(report, system.obs))
+        return True
+    if args.metrics == "table":
+        print(render_metrics_table(report, system.obs))
+    return False
 
 
 def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
@@ -69,6 +88,12 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sockets", type=int, default=2)
     parser.add_argument("--system", default="k-automine",
                         choices=["k-automine", "k-graphpi"])
+    parser.add_argument(
+        "--metrics", default="off", choices=["off", "table", "json"],
+        help="emit the run's observability surface: 'table' appends a "
+             "per-machine breakdown, 'json' prints one JSON document "
+             "instead of the normal output (see docs/metrics.md)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -127,23 +152,34 @@ def main(argv: list[str] | None = None) -> int:
             pattern, induced=args.induced, oriented=args.oriented,
             app=args.pattern,
         )
+        if args.metrics == "json":
+            _emit_metrics(args, system, report)
+            return 0
         print(report.describe())
         print("breakdown:", {k: f"{v:.1%}"
                              for k, v in report.breakdown_fractions().items()})
+        _emit_metrics(args, system, report)
         return 0
 
     if args.command == "motifs":
         system = _build_system(args)
         report = motif_count(system, args.size)
+        if args.metrics == "json":
+            _emit_metrics(args, system, report)
+            return 0
         for code, value in report.counts.items():
             labels, edges = code
             print(f"  {len(labels)}v/{len(edges)}e {edges}: {value}")
         print(f"simulated: {report.simulated_seconds * 1e3:.3f}ms")
+        _emit_metrics(args, system, report)
         return 0
 
     if args.command == "fsm":
         system = _build_system(args)
         result = run_fsm(system, args.threshold, args.max_edges)
+        if args.metrics == "json":
+            _emit_metrics(args, system, result.report)
+            return 0
         print(
             f"{len(result.frequent)} frequent patterns "
             f"({result.candidates_evaluated} candidates, "
@@ -151,6 +187,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         for pattern, support in sorted(result.frequent, key=lambda x: -x[1])[:20]:
             print(f"  support={support:<6} {pattern}")
+        # for multi-round jobs the trace covers the last round only
+        # (the engine resets its observability bundle per run); the
+        # merged per-machine breakdown covers all rounds
+        _emit_metrics(args, system, result.report)
         return 0
 
     raise AssertionError("unreachable")

@@ -12,6 +12,23 @@ memory-streaming ops per core-second), but what the reproduction relies
 on is their *ratios*: fine-grained task overhead vs. intersection work,
 map-maintenance cost vs. network transfer, and so on, which produce the
 paper's breakdowns and speedup shapes.
+
+Two groups encode paper design arguments directly:
+
+* **Section 5.2 (horizontal data sharing).** ``hds_probe`` is the cost
+  of one probe of the collision-dropping hash table. Collision dropping
+  is what keeps this constant tiny: a colliding entry is simply
+  overwritten instead of chained or resized, so a probe is one hash +
+  one compare with no locking, and sharing remote edge lists between
+  concurrently-extended embeddings stays cheaper than refetching them.
+* **Section 5.3 (static cache).** ``cache_insert_static`` prices the
+  "first accessed, first cached" policy: an insert into a fixed-size
+  pool with no eviction metadata. The ``cache_policy_update`` /
+  ``cache_dynamic_alloc`` / ``cache_fragmentation_rate`` constants are
+  the extra costs a *replacement* cache pays (Figure 16's LRU/MRU/FIFO
+  ablation). The degree threshold that decides which vertices are
+  cache-admissible lives in :mod:`repro.core.cache`; here it only
+  manifests as fewer, larger insertions.
 """
 
 from __future__ import annotations

@@ -5,6 +5,13 @@ matrix (and request counts), and prices communication batches with a
 latency + bandwidth model. Responder-side serve cost (copying edge
 lists into send buffers — the effect that leaves Patents' network
 underutilized in Figure 19) is charged to the serving machine.
+
+Observability: :meth:`NetworkModel.bind_metrics` attaches a
+:class:`~repro.obs.metrics.MetricsScope`, after which fetches and
+batches also emit the ``net.*`` counters/histograms of
+``docs/metrics.md``. The traffic matrix itself stays the byte-exact
+source of truth (per-machine utilization for Figure 19 is derived
+from it via :meth:`per_machine_utilization`).
 """
 
 from __future__ import annotations
@@ -13,6 +20,12 @@ import numpy as np
 
 from repro.cluster.costmodel import CostModel
 from repro.cluster.machine import MachineState
+from repro.obs import names
+from repro.obs.metrics import (
+    MetricsScope,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+)
 
 
 class NetworkModel:
@@ -29,6 +42,21 @@ class NetworkModel:
             (num_machines, num_machines), dtype=np.int64
         )
         self.num_batches = 0
+        self._m_requests = NULL_COUNTER
+        self._m_payload = NULL_COUNTER
+        self._m_wire = NULL_COUNTER
+        self._m_batches = NULL_COUNTER
+        self._m_batch_bytes = NULL_HISTOGRAM
+        self._m_batch_requests = NULL_HISTOGRAM
+
+    def bind_metrics(self, metrics: MetricsScope) -> None:
+        """Emit ``net.*`` metrics through ``metrics`` from now on."""
+        self._m_requests = metrics.counter(names.NET_REQUESTS)
+        self._m_payload = metrics.counter(names.NET_PAYLOAD_BYTES)
+        self._m_wire = metrics.counter(names.NET_WIRE_BYTES)
+        self._m_batches = metrics.counter(names.NET_BATCHES)
+        self._m_batch_bytes = metrics.histogram(names.NET_BATCH_BYTES)
+        self._m_batch_requests = metrics.histogram(names.NET_BATCH_REQUESTS)
 
     # ------------------------------------------------------------------
     def record_fetch(
@@ -49,6 +77,9 @@ class NetworkModel:
         self.traffic_bytes[requester, owner] += header
         self.traffic_bytes[owner, requester] += payload_bytes
         self.request_counts[requester, owner] += 1
+        self._m_requests.inc()
+        self._m_payload.inc(payload_bytes)
+        self._m_wire.inc(header + payload_bytes)
         if server is not None:
             server.served_bytes += payload_bytes
             server.served_requests += 1
@@ -65,6 +96,9 @@ class NetworkModel:
             return 0.0
         self.num_batches += 1
         wire_bytes = payload_bytes + num_requests * self.cost.request_header_bytes
+        self._m_batches.inc()
+        self._m_batch_bytes.observe(wire_bytes)
+        self._m_batch_requests.observe(num_requests)
         return self.cost.batch_latency + wire_bytes / self.cost.network_bandwidth
 
     def serve_time(self, payload_bytes: int, num_requests: int) -> float:
@@ -96,3 +130,11 @@ class NetworkModel:
         per_machine = self.traffic_bytes.sum(axis=1)
         busiest = float(per_machine.max())
         return busiest / (self.cost.network_bandwidth * runtime_seconds)
+
+    def per_machine_utilization(self, runtime_seconds: float) -> list[float]:
+        """Each machine's outgoing-link utilization (Figure 19 detail)."""
+        if runtime_seconds <= 0.0 or self.num_machines == 0:
+            return [0.0] * self.num_machines
+        per_machine = self.traffic_bytes.sum(axis=1)
+        denom = self.cost.network_bandwidth * runtime_seconds
+        return [float(b) / denom for b in per_machine]

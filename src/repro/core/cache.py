@@ -1,23 +1,41 @@
 """Graph-data caches: the static cache and the replacement policies.
 
-Khuzdul's static cache (paper Section 5.3) admits a fetched edge list
-only while it has free space and only for vertices above a degree
-threshold, and never evicts. That makes every operation a plain hash
-probe — no recency lists, no refcounts, no dynamic allocation.
+Khuzdul's static cache (paper Section 5.3) follows a **"first
+accessed, first cached" policy with a degree threshold**: a fetched
+edge list is admitted only while the cache has free space and only if
+its vertex's degree clears the threshold; once full, the cache's
+contents never change — there is no eviction, ever. The rationale is
+GPM-specific. First, access skew: GPM workloads touch high-degree
+(hub) vertices orders of magnitude more often than low-degree ones,
+and that skew is *stable over the run*, so whatever hot set is seen
+first is about as good as any replacement policy would converge to —
+the degree threshold keeps one early burst of cold, low-degree lists
+from squatting in the budget (the paper fixes it at 64; Ablation C
+sweeps it). Second, cost: never evicting makes every operation a
+plain hash probe with a fixed-size pool allocator — no recency lists,
+no refcounts, no dynamic allocation, no fragmentation.
 
 Figure 16's study compares it against FIFO/LIFO/LRU/MRU replacement
 policies, which (per Section 7.6) pay for continuous policy
 maintenance *and* for general-purpose dynamic memory management whose
 fragmentation grows over the run. Both cost channels are modelled here
 and charged through :meth:`EdgeCache.drain_cost`.
+
+Observability: an :class:`EdgeCache` built with a
+:class:`~repro.obs.metrics.MetricsScope` emits the ``cache.*``
+counters/gauge of ``docs/metrics.md`` alongside its plain integer
+attributes; the plain attributes stay authoritative and cost-free.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from enum import Enum
+from typing import Optional
 
 from repro.cluster.costmodel import CostModel
+from repro.obs import names
+from repro.obs.metrics import MetricsScope, scope_or_null
 
 
 class CachePolicy(Enum):
@@ -51,6 +69,7 @@ class EdgeCache:
         degree_threshold: int,
         policy: CachePolicy,
         cost: CostModel,
+        metrics: Optional[MetricsScope] = None,
     ):
         self.capacity_bytes = capacity_bytes
         self.degree_threshold = degree_threshold
@@ -64,6 +83,12 @@ class EdgeCache:
         self.evictions = 0
         self._pending_cost = 0.0
         self._fragmentation = 0.0  # grows with churn, capped at 3x extra
+        metrics = scope_or_null(metrics)
+        self._m_hits = metrics.counter(names.CACHE_HITS)
+        self._m_misses = metrics.counter(names.CACHE_MISSES)
+        self._m_inserts = metrics.counter(names.CACHE_INSERTS)
+        self._m_evictions = metrics.counter(names.CACHE_EVICTIONS)
+        self._m_used_bytes = metrics.gauge(names.CACHE_USED_BYTES)
 
     # ------------------------------------------------------------------
     def _query_cost(self) -> float:
@@ -83,12 +108,14 @@ class EdgeCache:
         self._pending_cost += self._query_cost()
         if vertex in self._entries:
             self.hits += 1
+            self._m_hits.inc()
             if self.policy in (CachePolicy.LRU, CachePolicy.MRU):
                 # recency maintenance on every touch
                 self._entries.move_to_end(vertex)
                 self._pending_cost += self.cost.cache_policy_update
             return True
         self.misses += 1
+        self._m_misses.inc()
         return False
 
     def admit(self, vertex: int, num_bytes: int, degree: int) -> bool:
@@ -107,6 +134,8 @@ class EdgeCache:
             self._entries[vertex] = num_bytes
             self.used_bytes += num_bytes
             self.inserts += 1
+            self._m_inserts.inc()
+            self._m_used_bytes.set(self.used_bytes)
             self._pending_cost += self.cost.cache_insert_static
             return True
 
@@ -118,6 +147,8 @@ class EdgeCache:
         self._entries[vertex] = num_bytes
         self.used_bytes += num_bytes
         self.inserts += 1
+        self._m_inserts.inc()
+        self._m_used_bytes.set(self.used_bytes)
         self._pending_cost += self.cost.cache_policy_update + self._alloc_cost()
         self._fragmentation = min(
             3.0, self._fragmentation + self.cost.cache_fragmentation_rate
@@ -137,6 +168,8 @@ class EdgeCache:
             raise AssertionError("static cache must not evict")
         self.used_bytes -= self._entries.pop(victim)
         self.evictions += 1
+        self._m_evictions.inc()
+        self._m_used_bytes.set(self.used_bytes)
         self._pending_cost += self._alloc_cost()
         self._fragmentation = min(
             3.0, self._fragmentation + self.cost.cache_fragmentation_rate

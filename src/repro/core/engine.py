@@ -21,6 +21,7 @@ from repro.core.extend import ScheduleExtender
 from repro.core.runtime import RunReport
 from repro.core.scheduler import MachineScheduler, Udf
 from repro.errors import ConfigurationError
+from repro.obs import NULL_OBS, Observability, Span, names
 from repro.patterns.schedule import Schedule
 
 #: Multi-pattern UDF: (pattern index, prefix vertices, candidates).
@@ -77,11 +78,27 @@ class KhuzdulEngine:
     One engine instance is bound to one :class:`Cluster`. Each call to
     :meth:`run`/:meth:`run_many` starts from clean clocks and fresh
     caches and returns a :class:`RunReport`.
+
+    ``obs`` is the engine's observability bundle
+    (:class:`~repro.obs.Observability`); it defaults to the shared
+    no-op bundle, in which case instrumentation costs nothing and the
+    report is byte-identical to an uninstrumented build. With an
+    enabled bundle, every component emits the metrics/spans documented
+    in ``docs/metrics.md`` and the report gains an
+    ``extra['obs']`` summary (per-machine Figure 15 phase seconds from
+    span data, span counts, emitted metric names). The bundle is reset
+    at the start of each run, so a summary always describes one run.
     """
 
-    def __init__(self, cluster: Cluster, config: Optional[EngineConfig] = None):
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[EngineConfig] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.cluster = cluster
         self.config = config or EngineConfig()
+        self.obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------------
     def run(
@@ -131,22 +148,40 @@ class KhuzdulEngine:
         cluster = self.cluster
         config = self.config
         graph = cluster.graph
+        obs = self.obs
+        obs.reset()  # one summary per run
         cluster.reset_clocks()
+        if obs.registry.enabled:
+            # reset_clocks rebuilt the network model; re-attach metrics
+            cluster.network.bind_metrics(obs.registry.scope())
 
         cache_capacity = int(config.cache_fraction * graph.size_bytes())
         caches = []
+        machine_scopes = []
         for machine in cluster.machines:
             machine.allocate(cache_capacity)  # pre-allocated pool
+            scope = obs.registry.scope(machine=machine.machine_id)
+            machine_scopes.append(scope)
             caches.append(
                 EdgeCache(
                     cache_capacity,
                     config.cache_degree_threshold,
                     config.cache_policy,
                     cluster.cost,
+                    metrics=scope,
                 )
             )
+        startup_counters = [
+            scope.counter(names.TIME_SCHEDULER) for scope in machine_scopes
+        ]
 
         counts = [0] * len(schedules)
+        # Per-(schedule, machine) the engine builds a *fresh* scheduler
+        # (and HDS table), so summing scheduler.hds.* below counts each
+        # probe exactly once; the regression test
+        # test_obs.py::test_hds_stats_not_double_counted pins this down.
+        # The per-machine series live in the registry (hds.* counters);
+        # this dict keeps the cluster-wide totals reports always carry.
         hds_stats = {"hits": 0, "probes": 0, "drops": 0}
         fetch_sources = {"local": 0, "remote": 0, "cache": 0, "shared": 0}
         chunks_created = 0
@@ -161,6 +196,16 @@ class KhuzdulEngine:
                     chunk_bytes = max(1024, min(chunk_bytes, headroom))
                 for machine in cluster.machines:
                     machine.clock.scheduler += cluster.cost.engine_startup
+                    startup_counters[machine.machine_id].inc(
+                        cluster.cost.engine_startup
+                    )
+                    if obs.tracer.enabled:
+                        obs.tracer.record(Span(
+                            "startup", machine.machine_id,
+                            start=machine.clock.total(),
+                            attrs={"scheduler": cluster.cost.engine_startup,
+                                   "pattern": index},
+                        ))
                     roots = self._roots_for(machine.machine_id, schedule)
                     if udf is None:
                         machine_udf: Udf = _NULL_UDF
@@ -169,7 +214,11 @@ class KhuzdulEngine:
                     scheduler = MachineScheduler(
                         cluster=cluster,
                         machine=machine,
-                        extender=ScheduleExtender(schedule, vcs=config.vcs),
+                        extender=ScheduleExtender(
+                            schedule,
+                            vcs=config.vcs,
+                            metrics=machine_scopes[machine.machine_id],
+                        ),
                         cache=caches[machine.machine_id],
                         udf=machine_udf,
                         chunk_bytes=chunk_bytes,
@@ -180,6 +229,7 @@ class KhuzdulEngine:
                         numa_aware=config.numa_aware,
                         circulant=config.circulant,
                         time_budget=config.time_budget,
+                        obs=obs,
                     )
                     counts[index] += scheduler.run(roots)
                     hds_stats["hits"] += scheduler.hds.hits
@@ -196,6 +246,15 @@ class KhuzdulEngine:
         slowest = max(cluster.machines, key=lambda m: m.busy_seconds())
         total_hits = sum(c.hits for c in caches)
         total_queries = total_hits + sum(c.misses for c in caches)
+        machine_breakdowns = []
+        for machine in cluster.machines:
+            buckets = machine.clock.as_dict()
+            buckets["serve"] = machine.serve_seconds
+            machine_breakdowns.append(buckets)
+            if obs.registry.enabled:
+                machine_scopes[machine.machine_id].counter(
+                    names.TIME_SERVE
+                ).inc(machine.serve_seconds)
         report = RunReport(
             system=system,
             app=app,
@@ -204,6 +263,7 @@ class KhuzdulEngine:
             simulated_seconds=runtime,
             network_bytes=cluster.network.total_bytes(),
             breakdown=slowest.clock.as_dict(),
+            machine_breakdowns=machine_breakdowns,
             machine_seconds=[m.busy_seconds() for m in cluster.machines],
             cache_hit_rate=(total_hits / total_queries) if total_queries else 0.0,
             cache_entries=sum(len(c) for c in caches),
@@ -218,6 +278,18 @@ class KhuzdulEngine:
                 "serve_seconds": max(m.serve_seconds for m in cluster.machines),
             },
         )
+        if obs.enabled:
+            summary = obs.summary()
+            summary["network"] = {
+                "per_machine_sent_bytes": [
+                    cluster.network.bytes_sent_by(m)
+                    for m in range(cluster.num_machines)
+                ],
+                "per_machine_utilization":
+                    cluster.network.per_machine_utilization(runtime),
+                "num_batches": cluster.network.num_batches,
+            }
+            report.extra["obs"] = summary
         return counts, report
 
     def _roots_for(self, machine_id: int, schedule: Schedule) -> np.ndarray:

@@ -23,6 +23,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.graph.graph import Graph
+from repro.obs import names
+from repro.obs.metrics import MetricsScope, scope_or_null
 from repro.patterns.schedule import ExtensionStep, Schedule
 
 #: Application callback: receives the embedding prefix (matching-order
@@ -157,9 +159,24 @@ class ScheduleExtender:
     from their matching-order compilers (see ``repro.systems``).
     """
 
-    def __init__(self, schedule: Schedule, vcs: bool = True):
+    def __init__(
+        self,
+        schedule: Schedule,
+        vcs: bool = True,
+        metrics: Optional[MetricsScope] = None,
+    ):
         self.schedule = schedule
         self.vcs = vcs
+        scope = scope_or_null(metrics)
+        self._m_calls = scope.counter(names.EXTEND_CALLS)
+        self._m_merge = scope.counter(names.EXTEND_MERGE_ELEMENTS)
+        self._m_candidates = scope.counter(names.EXTEND_CANDIDATES)
+
+    def bind_metrics(self, metrics: MetricsScope) -> None:
+        """Re-bind the ``extend.*`` counters (e.g. to a machine scope)."""
+        self._m_calls = metrics.counter(names.EXTEND_CALLS)
+        self._m_merge = metrics.counter(names.EXTEND_MERGE_ELEMENTS)
+        self._m_candidates = metrics.counter(names.EXTEND_CANDIDATES)
 
     @property
     def num_levels(self) -> int:
@@ -189,4 +206,9 @@ class ScheduleExtender:
         intermediate = None
         if self.vcs and step.reuse_level is not None:
             intermediate = intermediate_lookup(step.reuse_level)
-        return compute_candidates(graph, step, vertices, intermediate, self.vcs)
+        result = compute_candidates(graph, step, vertices, intermediate,
+                                    self.vcs)
+        self._m_calls.inc()
+        self._m_merge.inc(result.merge_elements)
+        self._m_candidates.inc(len(result.candidates))
+        return result

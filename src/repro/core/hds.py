@@ -2,17 +2,45 @@
 
 Extendable embeddings in the same chunk often request the same edge
 list (a hub vertex is the new vertex of many embeddings at once). A
-per-level hash table with vertex-id keys dedups those fetches. To keep
-the table nearly free, collisions are *dropped* rather than chained: if
-the slot for ``v`` is occupied by a different vertex, ``v`` is simply
-fetched again. The paper reports this trades a little redundant
-communication for a large bookkeeping saving (4.4TB -> 33.8GB on
-5-clique/LiveJournal while remaining cheap).
+per-level hash table with vertex-id keys dedups those fetches.
+
+**Collision-dropping rationale (Section 5.2).** A conventional hash
+table would resolve collisions by chaining, paying a pointer chase and
+key comparison per colliding probe and dynamic allocation per chain
+node — bookkeeping on *every* fetch, in the innermost communication
+path. Khuzdul instead keeps exactly one vertex per slot: if the slot
+for ``v`` is occupied by a different vertex, ``v``'s fetch is simply
+issued again. A dropped entry costs one redundant edge-list transfer;
+a chained entry costs CPU on every subsequent probe. Because the
+table is sized so collisions are rare (and cleared per chunk, so
+entries never age), the paper reports the drop design removes almost
+all duplicate traffic anyway — 4.4 TB -> 33.8 GB on
+5-clique/LiveJournal — while the table stays a single array probe.
+The ``chaining=True`` variant exists to measure the rejected design
+(``bench_ablations_design.py``).
+
+Sharing is *horizontal* because it happens across embeddings at the
+same level of the embedding tree, within one chunk; the complementary
+*vertical* sharing (Section 5.1) reuses data along parent pointers
+across levels. The table must be per-chunk: a chunk is the unit whose
+fetched edge lists are resident together, so a hit may alias the
+already-scheduled fetch's buffer.
+
+Observability: when constructed with a
+:class:`~repro.obs.metrics.MetricsScope`, every probe outcome is also
+emitted as the ``hds.*`` counters documented in ``docs/metrics.md``
+(attributed to the owning machine by the scope's labels). The plain
+integer attributes (``hits``/``probes``/...) remain authoritative and
+free, so ablation benches and reports work without instrumentation.
 """
 
 from __future__ import annotations
 
 from enum import Enum
+from typing import Optional
+
+from repro.obs import names
+from repro.obs.metrics import MetricsScope, scope_or_null
 
 _KNUTH = 2654435761
 _MASK = 0xFFFFFFFF
@@ -34,7 +62,12 @@ class HorizontalShareTable:
     key comparisons so the ablation bench can charge their cost.
     """
 
-    def __init__(self, num_slots: int = 8192, chaining: bool = False):
+    def __init__(
+        self,
+        num_slots: int = 8192,
+        chaining: bool = False,
+        metrics: Optional[MetricsScope] = None,
+    ):
         self.num_slots = max(1, num_slots)
         self.chaining = chaining
         self._slots: dict[int, list[int]] = {}
@@ -43,33 +76,52 @@ class HorizontalShareTable:
         self.drops = 0
         self.probes = 0
         self.chain_steps = 0
+        metrics = scope_or_null(metrics)
+        self._m_probes = metrics.counter(names.HDS_PROBES)
+        self._m_hits = metrics.counter(names.HDS_HITS)
+        self._m_inserts = metrics.counter(names.HDS_INSERTS)
+        self._m_drops = metrics.counter(names.HDS_DROPS)
+        self._m_chain_steps = metrics.counter(names.HDS_CHAIN_STEPS)
 
     def probe(self, vertex: int) -> ProbeOutcome:
         """Look up / claim the slot for ``vertex``."""
         self.probes += 1
+        self._m_probes.inc()
         slot = ((vertex + 1) * _KNUTH & _MASK) % self.num_slots
         chain = self._slots.get(slot)
         if chain is None:
             self._slots[slot] = [vertex]
             self.inserts += 1
+            self._m_inserts.inc()
             return ProbeOutcome.INSERTED
         if chain[0] == vertex:
             self.hits += 1
+            self._m_hits.inc()
             return ProbeOutcome.HIT
         if not self.chaining:
             self.drops += 1
+            self._m_drops.inc()
             return ProbeOutcome.DROPPED
         # chained variant: walk the collision chain
         for occupant in chain[1:]:
             self.chain_steps += 1
+            self._m_chain_steps.inc()
             if occupant == vertex:
                 self.hits += 1
+                self._m_hits.inc()
                 return ProbeOutcome.HIT
         self.chain_steps += 1
+        self._m_chain_steps.inc()
         chain.append(vertex)
         self.inserts += 1
+        self._m_inserts.inc()
         return ProbeOutcome.INSERTED
 
     def clear(self) -> None:
-        """Reset for the next chunk (the table is per-level/per-chunk)."""
+        """Reset for the next chunk (the table is per-level/per-chunk).
+
+        Only the slots are cleared — the counters are cumulative per
+        scheduler (i.e. per machine per pattern), which is what the
+        engine aggregates into ``RunReport.extra['hds']``.
+        """
         self._slots.clear()

@@ -43,6 +43,9 @@ class RunReport:
     network_bytes: int = 0
     #: breakdown of the *slowest* machine's time (Figure 15 categories)
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: every machine's clock buckets plus responder-side serve seconds
+    #: (``--metrics table`` and Figure 15's per-machine bars read this)
+    machine_breakdowns: list[dict[str, float]] = field(default_factory=list)
     #: per-machine total clocks
     machine_seconds: list[float] = field(default_factory=list)
     cache_hit_rate: float = 0.0
@@ -76,3 +79,27 @@ class RunReport:
             f"traffic={format_bytes(self.network_bytes):>9} "
             f"count={self.counts}"
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump of every field (``--metrics json``)."""
+        counts = self.counts
+        if isinstance(counts, dict):
+            # motif censuses key counts by (labels, edges) tuples
+            counts = {str(k): v for k, v in counts.items()}
+        return {
+            "system": self.system,
+            "app": self.app,
+            "graph_name": self.graph_name,
+            "counts": counts,
+            "simulated_seconds": self.simulated_seconds,
+            "network_bytes": int(self.network_bytes),
+            "breakdown": dict(self.breakdown),
+            "machine_breakdowns": [dict(b) for b in self.machine_breakdowns],
+            "machine_seconds": list(self.machine_seconds),
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_entries": self.cache_entries,
+            "network_utilization": self.network_utilization,
+            "peak_memory_bytes": int(self.peak_memory_bytes),
+            "num_machines": self.num_machines,
+            "extra": self.extra,
+        }

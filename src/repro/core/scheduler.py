@@ -12,6 +12,17 @@ The scheduler charges every mechanism to the machine's clock buckets:
 intersections and embedding creation to ``compute``, fine-grained task
 bookkeeping to ``scheduler``, HDS/static-cache bookkeeping to ``cache``,
 and unhidden fetch time to ``network`` — the categories of Figure 15.
+
+When built with an enabled :class:`~repro.obs.Observability`, the same
+charges are additionally attributed at span granularity: one ``chunk``
+span per resolved chunk (its compute/scheduler/cache/network seconds,
+item count, and how much communication the circulant pipeline hid) and
+one ``batch`` span per circulant communication batch (payload bytes,
+request count, wire/serve seconds), each keyed by
+(machine, level, chunk, batch). Summing a machine's span times
+reproduces its clock buckets exactly — that identity is what lets the
+Figure 15/19 benches read real trace data, and it is asserted in
+``tests/test_obs.py``.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ from repro.core.extend import ScheduleExtender
 from repro.core.hds import HorizontalShareTable, ProbeOutcome
 from repro.core.pipeline import pipeline_time
 from repro.errors import TimeoutError
+from repro.obs import NULL_OBS, Observability, Span, names
 
 #: UDF signature: (prefix vertices, completing candidates array).
 Udf = Callable[[tuple[int, ...], np.ndarray], None]
@@ -40,16 +52,21 @@ class _LevelState:
 
     __slots__ = (
         "chunk",
+        "chunk_id",
         "cursor",
         "resume",
         "comm_times",
         "batch_sizes",
         "compute_serial",
         "scheduler_serial",
+        "cache_seconds",
+        "start",
     )
 
-    def __init__(self, chunk: Chunk):
+    def __init__(self, chunk: Chunk, chunk_id: int = 0, start: float = 0.0):
         self.chunk = chunk
+        #: per-scheduler chunk sequence number (span attribution key)
+        self.chunk_id = chunk_id
         self.cursor = 0
         #: mid-embedding continuation: (parent, ExtendResult, next index).
         #: The paper pauses a level as soon as the next level's memory is
@@ -59,6 +76,10 @@ class _LevelState:
         self.batch_sizes: list[int] = [0]
         self.compute_serial = 0.0
         self.scheduler_serial = 0.0
+        #: HDS/cache bookkeeping wall seconds charged at resolve time
+        self.cache_seconds = 0.0
+        #: machine clock when the chunk became current (span start)
+        self.start = start
 
     @property
     def exhausted(self) -> bool:
@@ -83,6 +104,7 @@ class MachineScheduler:
         hds_chaining: bool = False,
         circulant: bool = True,
         time_budget: Optional[float] = None,
+        obs: Optional[Observability] = None,
     ):
         self.cluster = cluster
         self.machine = machine
@@ -92,7 +114,6 @@ class MachineScheduler:
         self.udf = udf
         self.chunk_bytes = chunk_bytes
         self.hds_enabled = hds_enabled
-        self.hds = HorizontalShareTable(hds_slots, chaining=hds_chaining)
         self.vcs_enabled = vcs_enabled
         self.numa_aware = numa_aware
         self.circulant = circulant
@@ -107,6 +128,28 @@ class MachineScheduler:
             EdgeListSource.CACHE: 0,
             EdgeListSource.SHARED: 0,
         }
+        obs = obs if obs is not None else NULL_OBS
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._trace = obs.tracer.enabled
+        scope = obs.registry.scope(machine=machine.machine_id)
+        self.hds = HorizontalShareTable(
+            hds_slots, chaining=hds_chaining, metrics=scope
+        )
+        self._m_fetch = {
+            EdgeListSource.LOCAL: scope.counter(names.FETCH_LOCAL),
+            EdgeListSource.REMOTE: scope.counter(names.FETCH_REMOTE),
+            EdgeListSource.CACHE: scope.counter(names.FETCH_CACHE),
+            EdgeListSource.SHARED: scope.counter(names.FETCH_SHARED),
+        }
+        self._m_chunks = scope.counter(names.CHUNKS_CREATED)
+        self._m_chunk_items = scope.histogram(names.CHUNK_ITEMS)
+        self._m_overlap = scope.histogram(names.CHUNK_OVERLAP)
+        self._m_matches = scope.counter(names.MATCHES_EMITTED)
+        self._m_t_compute = scope.counter(names.TIME_COMPUTE)
+        self._m_t_scheduler = scope.counter(names.TIME_SCHEDULER)
+        self._m_t_cache = scope.counter(names.TIME_CACHE)
+        self._m_t_network = scope.counter(names.TIME_NETWORK)
 
     # ------------------------------------------------------------------
     # cost helpers
@@ -137,9 +180,15 @@ class MachineScheduler:
         pattern_size = self.extender.schedule.pattern.num_vertices
         if pattern_size == 1:
             self.matches += len(roots)
-            self.machine.clock.compute += (
-                len(roots) * self.cost.emit_per_candidate
-            )
+            self._m_matches.inc(len(roots))
+            seconds = len(roots) * self.cost.emit_per_candidate
+            self.machine.clock.compute += seconds
+            self._m_t_compute.inc(seconds)
+            if self._trace:
+                self._tracer.record(Span(
+                    "roots", self.machine.machine_id, level=0,
+                    attrs={"compute": seconds, "items": len(roots)},
+                ))
             return self.matches
 
         root_needs_fetch = self.extender.schedule.root_active()
@@ -158,6 +207,7 @@ class MachineScheduler:
         """Level-0 chunk: single-vertex embeddings, all data local."""
         chunk = Chunk(0, self.chunk_bytes, self.machine)
         self.chunks_created += 1
+        self._m_chunks.inc()
         for root in root_iter:
             emb = ExtendableEmbedding(int(root), 0, None, root_needs_fetch)
             emb.mark_ready(EdgeListSource.LOCAL)  # roots are owned locally
@@ -171,8 +221,10 @@ class MachineScheduler:
 
     def _explore_from(self, root_chunk: Chunk) -> None:
         final_extend_level = self.extender.final_level - 1
-        stack = [_LevelState(root_chunk)]
+        stack = [_LevelState(root_chunk, self.chunks_created,
+                             self.machine.clock.total())]
         self._charge_chunk_setup(stack[-1], len(root_chunk.items))
+        self._m_chunk_items.observe(len(root_chunk.items))
         while stack:
             state = stack[-1]
             if state.exhausted:
@@ -186,9 +238,11 @@ class MachineScheduler:
             next_chunk = self._fill_next_chunk(state)
             if next_chunk is None:
                 continue
-            next_state = _LevelState(next_chunk)
+            next_state = _LevelState(next_chunk, self.chunks_created,
+                                     self.machine.clock.total())
             self._resolve_chunk(next_chunk, next_state)
             self._charge_chunk_setup(next_state, len(next_chunk.items))
+            self._m_chunk_items.observe(len(next_chunk.items))
             stack.append(next_state)
 
     # ------------------------------------------------------------------
@@ -214,6 +268,7 @@ class MachineScheduler:
         chunk = Chunk(child_level, self.chunk_bytes, self.machine,
                       preallocate=True)
         self.chunks_created += 1
+        self._m_chunks.inc()
         items = state.chunk.items
         while not chunk.full:
             if state.resume is None:
@@ -266,6 +321,7 @@ class MachineScheduler:
             result = self._extend_one(state, emb, final_level)
             if len(result.candidates):
                 self.matches += len(result.candidates)
+                self._m_matches.inc(len(result.candidates))
                 self.udf(emb.vertices(), result.candidates)
                 state.compute_serial += (
                     len(result.candidates) * self.cost.emit_per_candidate
@@ -296,6 +352,7 @@ class MachineScheduler:
             if owner == me:
                 emb.mark_ready(EdgeListSource.LOCAL)
                 self.fetch_sources[EdgeListSource.LOCAL] += 1
+                self._m_fetch[EdgeListSource.LOCAL].inc()
                 chunk.refund(emb, reserved)  # local: pointer only
                 local_count += 1
                 continue
@@ -305,12 +362,14 @@ class MachineScheduler:
                 if outcome is ProbeOutcome.HIT:
                     emb.mark_ready(EdgeListSource.SHARED)
                     self.fetch_sources[EdgeListSource.SHARED] += 1
+                    self._m_fetch[EdgeListSource.SHARED].inc()
                     chunk.refund(emb, reserved)  # pointer into the chunk
                     local_count += 1
                     continue
             if self.cache.query(v):
                 emb.mark_ready(EdgeListSource.CACHE)
                 self.fetch_sources[EdgeListSource.CACHE] += 1
+                self._m_fetch[EdgeListSource.CACHE].inc()
                 chunk.refund(emb, reserved)  # resident in the cache pool
                 local_count += 1
                 continue
@@ -335,17 +394,37 @@ class MachineScheduler:
                     chunk.refund(emb, num_bytes)  # lives in the cache pool
                 emb.mark_ready(EdgeListSource.REMOTE)
                 self.fetch_sources[EdgeListSource.REMOTE] += 1
+                self._m_fetch[EdgeListSource.REMOTE].inc()
             comm = self.cluster.network.batch_time(payload, len(batch))
             serve = self.cluster.network.serve_time(payload, len(batch))
             server.serve_seconds += serve / server.comm_threads
             state.comm_times.append(comm)
             state.batch_sizes.append(len(batch))
+            if self._trace:
+                self._tracer.record(Span(
+                    "batch",
+                    me,
+                    level=chunk.level,
+                    chunk=state.chunk_id,
+                    batch=len(state.comm_times) - 1,
+                    start=state.start,
+                    attrs={
+                        "owner": owner,
+                        "requests": len(batch),
+                        "payload_bytes": payload,
+                        "comm_seconds": comm,
+                        "serve_seconds": serve,
+                    },
+                ))
 
         cache_ops += (
             self.hds.chain_steps - chain_steps_before
         ) * self.cost.hds_probe
         cache_ops += self.cache.drain_cost()
-        self.machine.clock.cache += self._parallel(cache_ops)
+        cache_wall = self._parallel(cache_ops)
+        self.machine.clock.cache += cache_wall
+        self._m_t_cache.inc(cache_wall)
+        state.cache_seconds += cache_wall
 
     # ------------------------------------------------------------------
     # accounting
@@ -370,7 +449,33 @@ class MachineScheduler:
         else:
             # no pipelining: every fetch completes before computing
             wall = sum(state.comm_times) + compute_par
+        scheduler_par = self._parallel(state.scheduler_serial)
+        exposed = max(0.0, wall - compute_par)
+        comm_total = sum(state.comm_times)
+        hidden = max(0.0, comm_total - exposed)
         self.machine.clock.compute += compute_par
-        self.machine.clock.network += max(0.0, wall - compute_par)
-        self.machine.clock.scheduler += self._parallel(state.scheduler_serial)
+        self.machine.clock.network += exposed
+        self.machine.clock.scheduler += scheduler_par
+        self._m_t_compute.inc(compute_par)
+        self._m_t_network.inc(exposed)
+        self._m_t_scheduler.inc(scheduler_par)
+        self._m_overlap.observe(hidden)
+        if self._trace:
+            self._tracer.record(Span(
+                "chunk",
+                self.machine.machine_id,
+                level=state.chunk.level,
+                chunk=state.chunk_id,
+                start=state.start,
+                attrs={
+                    "compute": compute_par,
+                    "network": exposed,
+                    "scheduler": scheduler_par,
+                    "cache": state.cache_seconds,
+                    "items": len(state.chunk.items),
+                    "batches": len(state.batch_sizes) - 1,
+                    "comm_seconds": comm_total,
+                    "hidden_seconds": hidden,
+                },
+            ))
         state.chunk.release()

@@ -1,0 +1,325 @@
+"""Metrics registry: counters, gauges, and histograms with a no-op mode.
+
+Two design constraints shape this module:
+
+1. **Zero cost when disabled.** Every component of the engine is
+   instrumented unconditionally, so the disabled path must be free
+   enough to leave tier-1 timings untouched. Components *pre-bind*
+   their instruments once at construction time; in no-op mode the
+   bound objects are shared null singletons whose methods do nothing,
+   so the per-event cost is one attribute load and an empty call —
+   there is no label hashing, no dict lookup, no branching in the hot
+   loops.
+2. **A closed, documented surface.** An enabled registry only accepts
+   names listed in :data:`repro.obs.names.SPECS`; creating anything
+   else raises. Together with the docs-contract test this guarantees
+   every metric the engine can emit is documented in
+   ``docs/metrics.md``.
+
+Instruments are keyed by ``(name, labels)`` where labels is a sorted
+tuple of ``(key, value)`` pairs — the usual dimensional-metrics model
+(machine id, component, ...). :meth:`MetricsRegistry.scope` returns a
+view with labels pre-applied so call sites stay terse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.obs.names import SPECS
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+# ---------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------
+class Counter:
+    """A monotonically increasing count of events (or units)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (e.g. resident cache bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max.
+
+    The simulation is deterministic, so the summary statistics are
+    exact; full per-observation retention belongs to the tracer.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:  # pragma: no cover
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: int | float) -> None:  # pragma: no cover
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: int | float) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared no-op instruments handed out by the null registry. All
+#: callers bind these once, so disabled instrumentation costs one
+#: no-op call per event.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+# ---------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------
+class MetricsRegistry:
+    """Holds every instrument of one run, keyed by (name, labels)."""
+
+    enabled: bool = True
+
+    def __init__(self, strict: bool = True):
+        #: reject names missing from the documented surface
+        self.strict = strict
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # -- creation ------------------------------------------------------
+    def _check(self, name: str, kind: str) -> None:
+        if not self.strict:
+            return
+        spec = SPECS.get(name)
+        if spec is None:
+            raise KeyError(
+                f"metric {name!r} is not declared in repro.obs.names.SPECS; "
+                "declare it there and document it in docs/metrics.md"
+            )
+        if spec.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is declared as a {spec.kind}, "
+                f"not a {kind}"
+            )
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        self._check(name, "counter")
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        self._check(name, "gauge")
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        self._check(name, "histogram")
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def scope(self, **labels: Any) -> "MetricsScope":
+        """A registry view with ``labels`` pre-applied to every name."""
+        return MetricsScope(self, labels)
+
+    # -- reading -------------------------------------------------------
+    def counter_value(self, name: str, **labels: Any) -> int | float:
+        """Current value of one counter series (0 if never emitted)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def total(self, name: str) -> int | float:
+        """Sum of a counter across all label series."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def series(self, name: str) -> Iterator[tuple[LabelKey, Counter]]:
+        for (n, labels), counter in self._counters.items():
+            if n == name:
+                yield labels, counter
+
+    def emitted_names(self) -> set[str]:
+        """Every metric name that has at least one series."""
+        return (
+            {n for n, _ in self._counters}
+            | {n for n, _ in self._gauges}
+            | {n for n, _ in self._histograms}
+        )
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-friendly dump: ``{kind: {name: {labelstr: value}}}``.
+
+        Label strings are ``key=value`` pairs joined by commas, with
+        ``""`` for the unlabeled series, so the shape is stable across
+        runs of the same configuration (the golden-file test relies on
+        this).
+        """
+
+        def fmt(labels: LabelKey) -> str:
+            return ",".join(f"{k}={v}" for k, v in labels)
+
+        return {
+            "counters": {
+                name: {
+                    fmt(labels): counter.value
+                    for (n, labels), counter in sorted(
+                        self._counters.items(), key=lambda kv: kv[0]
+                    )
+                    if n == name
+                }
+                for name in sorted({n for n, _ in self._counters})
+            },
+            "gauges": {
+                name: {
+                    fmt(labels): gauge.value
+                    for (n, labels), gauge in sorted(
+                        self._gauges.items(), key=lambda kv: kv[0]
+                    )
+                    if n == name
+                }
+                for name in sorted({n for n, _ in self._gauges})
+            },
+            "histograms": {
+                name: {
+                    fmt(labels): histogram.summary()
+                    for (n, labels), histogram in sorted(
+                        self._histograms.items(), key=lambda kv: kv[0]
+                    )
+                    if n == name
+                }
+                for name in sorted({n for n, _ in self._histograms})
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry whose instruments do nothing (the default everywhere)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(strict=False)
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return NULL_HISTOGRAM
+
+
+@dataclass
+class MetricsScope:
+    """A label-bound view of a registry (e.g. one machine's metrics)."""
+
+    registry: MetricsRegistry
+    labels: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.registry.counter(name, **{**self.labels, **labels})
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.registry.gauge(name, **{**self.labels, **labels})
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self.registry.histogram(name, **{**self.labels, **labels})
+
+    def scope(self, **labels: Any) -> "MetricsScope":
+        return MetricsScope(self.registry, {**self.labels, **labels})
+
+
+#: The shared do-nothing registry; components default to scopes of it.
+NULL_REGISTRY = NullRegistry()
+#: A shared label-less scope of the null registry.
+NULL_SCOPE = MetricsScope(NULL_REGISTRY)
+
+
+def null_scope() -> MetricsScope:
+    """The shared no-op scope (use as the default ``metrics=`` value)."""
+    return NULL_SCOPE
+
+
+def scope_or_null(metrics: Optional[MetricsScope]) -> MetricsScope:
+    """Normalize an optional scope argument."""
+    return metrics if metrics is not None else NULL_SCOPE

@@ -1,0 +1,173 @@
+"""Canonical names of every metric the engine emits.
+
+This module is the single source of truth for the observability
+surface: a metric may only be created through a
+:class:`~repro.obs.metrics.MetricsRegistry` if its name appears in
+:data:`SPECS`, and ``docs/metrics.md`` must document every name listed
+here (``make docs-check`` / ``tests/test_docs_contract.py`` enforce
+both directions). Adding a metric therefore means adding a
+:class:`MetricSpec` here *and* a row to the docs table — the test
+suite fails otherwise.
+
+Naming convention: ``<component>.<event>`` in snake_case, with the
+component matching the module that emits it (``fetch``, ``hds``,
+``cache``, ``net``, ``extend``, ``chunk``, ``time``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """What one metric means: kind, unit, and the figure it feeds."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    unit: str
+    figure: str  # the paper table/figure this metric reproduces
+    description: str
+
+
+# ---------------------------------------------------------------------
+# fetch resolution (scheduler, Section 4.3 / Figure 19)
+# ---------------------------------------------------------------------
+FETCH_LOCAL = "fetch.local"
+FETCH_REMOTE = "fetch.remote"
+FETCH_CACHE = "fetch.cache"
+FETCH_SHARED = "fetch.shared"
+
+# ---------------------------------------------------------------------
+# horizontal data sharing (Section 5.2 / Figure 12)
+# ---------------------------------------------------------------------
+HDS_PROBES = "hds.probes"
+HDS_HITS = "hds.hits"
+HDS_INSERTS = "hds.inserts"
+HDS_DROPS = "hds.drops"
+HDS_CHAIN_STEPS = "hds.chain_steps"
+
+# ---------------------------------------------------------------------
+# static cache (Section 5.3 / Figures 16-17, Table 6)
+# ---------------------------------------------------------------------
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+CACHE_INSERTS = "cache.inserts"
+CACHE_EVICTIONS = "cache.evictions"
+CACHE_USED_BYTES = "cache.used_bytes"
+
+# ---------------------------------------------------------------------
+# chunked exploration (Section 4.2 / Figure 18)
+# ---------------------------------------------------------------------
+CHUNKS_CREATED = "chunk.created"
+CHUNK_ITEMS = "chunk.items"
+CHUNK_OVERLAP = "chunk.overlap_hidden_seconds"
+
+# ---------------------------------------------------------------------
+# EXTEND kernel (Section 3.2 / Figure 11)
+# ---------------------------------------------------------------------
+EXTEND_CALLS = "extend.calls"
+EXTEND_MERGE_ELEMENTS = "extend.merge_elements"
+EXTEND_CANDIDATES = "extend.candidates"
+MATCHES_EMITTED = "extend.matches_emitted"
+
+# ---------------------------------------------------------------------
+# network (Section 4.3 / Figure 19)
+# ---------------------------------------------------------------------
+NET_REQUESTS = "net.requests"
+NET_PAYLOAD_BYTES = "net.payload_bytes"
+NET_WIRE_BYTES = "net.wire_bytes"
+NET_BATCHES = "net.batches"
+NET_BATCH_BYTES = "net.batch_bytes"
+NET_BATCH_REQUESTS = "net.batch_requests"
+
+# ---------------------------------------------------------------------
+# simulated-time attribution (Figure 15 categories)
+# ---------------------------------------------------------------------
+TIME_COMPUTE = "time.compute_seconds"
+TIME_SCHEDULER = "time.scheduler_seconds"
+TIME_CACHE = "time.cache_seconds"
+TIME_NETWORK = "time.network_seconds"
+TIME_SERVE = "time.serve_seconds"
+
+
+def _spec(name, kind, unit, figure, description) -> tuple[str, MetricSpec]:
+    return name, MetricSpec(name, kind, unit, figure, description)
+
+
+#: Every metric the engine may emit, keyed by name. The registry
+#: rejects names missing from this table, and the docs-contract test
+#: requires each name to appear in docs/metrics.md.
+SPECS: dict[str, MetricSpec] = dict(
+    [
+        _spec(FETCH_LOCAL, "counter", "edge lists", "Fig 19",
+              "active edge lists satisfied by the local partition"),
+        _spec(FETCH_REMOTE, "counter", "edge lists", "Fig 19",
+              "edge lists fetched over the network"),
+        _spec(FETCH_CACHE, "counter", "edge lists", "Table 6",
+              "edge lists served by the static cache"),
+        _spec(FETCH_SHARED, "counter", "edge lists", "Fig 12",
+              "edge lists shared through the HDS table"),
+        _spec(HDS_PROBES, "counter", "probes", "Fig 12",
+              "probes of the per-chunk horizontal-share table"),
+        _spec(HDS_HITS, "counter", "probes", "Fig 12",
+              "HDS probes that found the same vertex (fetch deduped)"),
+        _spec(HDS_INSERTS, "counter", "probes", "Fig 12",
+              "HDS probes that claimed an empty slot"),
+        _spec(HDS_DROPS, "counter", "probes", "Fig 12",
+              "HDS probes dropped on collision (fetched anyway)"),
+        _spec(HDS_CHAIN_STEPS, "counter", "key comparisons", "Ablation A",
+              "chain-walk steps of the chained HDS variant"),
+        _spec(CACHE_HITS, "counter", "queries", "Fig 17",
+              "static/replacement cache queries that hit"),
+        _spec(CACHE_MISSES, "counter", "queries", "Fig 17",
+              "cache queries that missed"),
+        _spec(CACHE_INSERTS, "counter", "edge lists", "Table 6",
+              "edge lists admitted into the cache"),
+        _spec(CACHE_EVICTIONS, "counter", "edge lists", "Fig 16",
+              "evictions performed by replacement policies"),
+        _spec(CACHE_USED_BYTES, "gauge", "bytes", "Fig 17",
+              "bytes resident in the cache after the run"),
+        _spec(CHUNKS_CREATED, "counter", "chunks", "Fig 18",
+              "chunks allocated across all levels"),
+        _spec(CHUNK_ITEMS, "histogram", "embeddings", "Fig 18",
+              "extendable embeddings per resolved chunk"),
+        _spec(CHUNK_OVERLAP, "histogram", "seconds", "Ablation B",
+              "communication hidden behind computation per chunk"),
+        _spec(EXTEND_CALLS, "counter", "calls", "Fig 15",
+              "invocations of the EXTEND kernel"),
+        _spec(EXTEND_MERGE_ELEMENTS, "counter", "elements", "Fig 11",
+              "elements streamed through set intersections/differences"),
+        _spec(EXTEND_CANDIDATES, "counter", "vertices", "Fig 11",
+              "candidate vertices surviving all EXTEND filters"),
+        _spec(MATCHES_EMITTED, "counter", "embeddings", "Tables 2-5",
+              "completed embeddings handed to the UDF"),
+        _spec(NET_REQUESTS, "counter", "requests", "Fig 19",
+              "edge-list fetch requests that crossed machines"),
+        _spec(NET_PAYLOAD_BYTES, "counter", "bytes", "Fig 19",
+              "payload bytes returned by remote fetches"),
+        _spec(NET_WIRE_BYTES, "counter", "bytes", "Fig 19",
+              "payload plus request-header bytes on the wire"),
+        _spec(NET_BATCHES, "counter", "batches", "Fig 19",
+              "circulant communication batches priced"),
+        _spec(NET_BATCH_BYTES, "histogram", "bytes", "Fig 19",
+              "wire bytes per communication batch"),
+        _spec(NET_BATCH_REQUESTS, "histogram", "requests", "Fig 19",
+              "fetch requests per communication batch"),
+        _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
+              "simulated seconds charged to computation"),
+        _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",
+              "simulated seconds charged to fine-grained scheduling"),
+        _spec(TIME_CACHE, "counter", "seconds", "Fig 15",
+              "simulated seconds charged to HDS/cache bookkeeping"),
+        _spec(TIME_NETWORK, "counter", "seconds", "Fig 15",
+              "simulated seconds of communication not hidden by overlap"),
+        _spec(TIME_SERVE, "counter", "seconds", "Fig 19",
+              "responder-side seconds serving remote fetches"),
+    ]
+)
+
+#: Names of the Figure 15 phase buckets, in display order.
+PHASE_METRICS: tuple[str, ...] = (
+    TIME_COMPUTE, TIME_SCHEDULER, TIME_CACHE, TIME_NETWORK,
+)

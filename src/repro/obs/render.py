@@ -1,0 +1,93 @@
+"""Rendering of the observability surface for the CLI.
+
+``python -m repro <app> --metrics table`` prints
+:func:`render_metrics_table` — the per-machine compute/communication/
+cache breakdown (Figure 15's bars, one row per machine) followed by
+the run's counter summary. ``--metrics json`` prints
+:func:`render_metrics_json` — the full report, metric snapshot, and
+trace summary as one JSON document (shape pinned by the golden-file
+test ``tests/test_obs.py::test_metrics_json_golden_shape``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.core.runtime import RunReport, format_bytes, format_seconds
+
+_PHASES = ("compute", "scheduler", "cache", "network", "serve")
+
+
+def render_metrics_table(report: RunReport, obs: Optional[Any] = None) -> str:
+    """Human-readable per-machine breakdown plus counter summary."""
+    lines = []
+    lines.append("per-machine breakdown (simulated seconds):")
+    header = f"{'machine':>7}" + "".join(f"{p:>12}" for p in _PHASES) \
+        + f"{'total':>12}"
+    lines.append(header)
+    for machine, buckets in enumerate(report.machine_breakdowns):
+        total = sum(buckets.get(p, 0.0) for p in _PHASES if p != "serve")
+        total = max(total, buckets.get("serve", 0.0))
+        row = f"{machine:>7}" + "".join(
+            f"{buckets.get(p, 0.0):>12.3e}" for p in _PHASES
+        )
+        lines.append(row + f"{total:>12.3e}")
+    if not report.machine_breakdowns:
+        lines.append("  (no per-machine data: system is not engine-based)")
+
+    extra = report.extra or {}
+    fetch = extra.get("fetch_sources")
+    if fetch:
+        lines.append(
+            "fetch sources: "
+            + "  ".join(f"{k}={v}" for k, v in fetch.items())
+        )
+    hds = extra.get("hds")
+    if hds:
+        lines.append(
+            "hds: " + "  ".join(f"{k}={v}" for k, v in hds.items())
+        )
+    lines.append(
+        f"cache: hit-rate={report.cache_hit_rate:.1%}  "
+        f"entries={report.cache_entries}"
+    )
+    lines.append(
+        f"network: traffic={format_bytes(report.network_bytes)}  "
+        f"requests={extra.get('requests', 0)}  "
+        f"peak-util={report.network_utilization:.1%}"
+    )
+    lines.append(
+        f"simulated runtime: {format_seconds(report.simulated_seconds)} "
+        f"across {report.num_machines} machine(s)"
+    )
+
+    obs_summary = extra.get("obs")
+    if obs_summary:
+        lines.append(
+            f"trace: {obs_summary['num_spans']} spans "
+            f"({obs_summary.get('dropped_spans', 0)} dropped) — "
+            + "  ".join(
+                f"{name}={count}"
+                for name, count in obs_summary["spans_by_name"].items()
+            )
+        )
+    if obs is not None and getattr(obs.registry, "enabled", False):
+        snapshot = obs.registry.snapshot()
+        lines.append("counters (summed over machines):")
+        for name, series in snapshot["counters"].items():
+            total = sum(series.values())
+            if isinstance(total, float):
+                lines.append(f"  {name:<28}{total:.6g}")
+            else:
+                lines.append(f"  {name:<28}{total}")
+    return "\n".join(lines)
+
+
+def render_metrics_json(report: RunReport, obs: Optional[Any] = None) -> str:
+    """One JSON document: report + metric snapshot + trace summary."""
+    document: dict[str, Any] = {"report": report.to_dict()}
+    if obs is not None and getattr(obs, "enabled", False):
+        document["metrics"] = obs.registry.snapshot()
+        document["trace"] = obs.tracer.summary()
+    return json.dumps(document, indent=2, sort_keys=True, default=str)

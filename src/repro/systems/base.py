@@ -109,6 +109,14 @@ def merge_reports(
     for report in reports:
         for key, value in report.breakdown.items():
             total_breakdown[key] = total_breakdown.get(key, 0.0) + value
+    machine_breakdowns: list[dict[str, float]] = []
+    if all(r.machine_breakdowns for r in reports):
+        for buckets in zip(*(r.machine_breakdowns for r in reports)):
+            merged: dict[str, float] = {}
+            for bucket in buckets:
+                for key, value in bucket.items():
+                    merged[key] = merged.get(key, 0.0) + value
+            machine_breakdowns.append(merged)
     return RunReport(
         system=system,
         app=app,
@@ -117,6 +125,7 @@ def merge_reports(
         simulated_seconds=sum(r.simulated_seconds for r in reports),
         network_bytes=sum(r.network_bytes for r in reports),
         breakdown=total_breakdown,
+        machine_breakdowns=machine_breakdowns,
         machine_seconds=[
             sum(values)
             for values in zip(*(r.machine_seconds for r in reports))

@@ -18,6 +18,7 @@ from repro.core.runtime import RunReport
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.graph.orientation import orient_by_degree
+from repro.obs import Observability
 from repro.patterns.catalog import clique
 from repro.patterns.isomorphism import automorphisms, are_isomorphic
 from repro.patterns.pattern import Pattern
@@ -36,13 +37,16 @@ class PortedSystem(GPMSystem):
         cluster_config: Optional[ClusterConfig] = None,
         engine_config: Optional[EngineConfig] = None,
         graph_name: str = "graph",
+        obs: Optional[Observability] = None,
     ):
         self.graph = graph
         self.graph_name = graph_name
         self.cluster_config = cluster_config or ClusterConfig()
         self.engine_config = engine_config or EngineConfig()
+        #: observability bundle shared by every engine this system builds
+        self.obs = obs
         self.cluster = Cluster(graph, self.cluster_config)
-        self.engine = KhuzdulEngine(self.cluster, self.engine_config)
+        self.engine = KhuzdulEngine(self.cluster, self.engine_config, obs=obs)
         self._oriented: Optional[tuple[Cluster, KhuzdulEngine]] = None
 
     # -- the port-specific part -----------------------------------------
@@ -58,7 +62,10 @@ class PortedSystem(GPMSystem):
         if self._oriented is None:
             dag = orient_by_degree(self.graph)
             cluster = Cluster(dag, self.cluster_config)
-            self._oriented = (cluster, KhuzdulEngine(cluster, self.engine_config))
+            self._oriented = (
+                cluster,
+                KhuzdulEngine(cluster, self.engine_config, obs=self.obs),
+            )
         return self._oriented[1]
 
     def count_pattern(

@@ -1,0 +1,100 @@
+"""The docs contract: the observability surface stays documented.
+
+``repro.obs.names.SPECS`` is the single source of truth for metric
+names; ``docs/metrics.md`` is the human reference. These tests keep the
+two in lockstep in both directions — run them alone via
+``make docs-check``. They are plain-text checks on purpose: adding a
+metric without a docs row (or documenting a name the code cannot emit)
+must fail even if no engine test exercises the new metric.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs import names
+from repro.obs.tracer import PHASE_ATTRS
+
+DOCS = Path(__file__).parent.parent / "docs" / "metrics.md"
+
+#: metric names as they appear in the reference table rows
+_ROW_NAME = re.compile(r"^\|\s*`([a-z]+\.[a-z_0-9]+)`\s*\|")
+#: span names documented in the trace-span table
+_SPAN_ROW = re.compile(r"^\|\s*`([a-z_]+)`\s*\|")
+
+
+def _doc_text() -> str:
+    assert DOCS.exists(), "docs/metrics.md is missing"
+    return DOCS.read_text()
+
+
+def _documented_metric_names() -> set[str]:
+    return {
+        match.group(1)
+        for line in _doc_text().splitlines()
+        if (match := _ROW_NAME.match(line))
+    }
+
+
+def test_every_emitted_metric_is_documented():
+    documented = _documented_metric_names()
+    missing = set(names.SPECS) - documented
+    assert not missing, (
+        f"metrics declared in repro.obs.names but absent from "
+        f"docs/metrics.md: {sorted(missing)}"
+    )
+
+
+def test_every_documented_metric_exists_in_code():
+    documented = _documented_metric_names()
+    assert documented, "docs/metrics.md has no metric table rows"
+    stale = documented - set(names.SPECS)
+    assert not stale, (
+        f"docs/metrics.md documents metrics the registry would reject: "
+        f"{sorted(stale)}"
+    )
+
+
+def test_docs_mention_kind_and_unit_of_every_metric():
+    text = _doc_text()
+    for name, spec in names.SPECS.items():
+        row = next(
+            (line for line in text.splitlines()
+             if _ROW_NAME.match(line) and _ROW_NAME.match(line).group(1) == name),
+            None,
+        )
+        assert row is not None, f"no table row for {name}"
+        assert spec.kind in row, f"row for {name} does not state its kind"
+        assert spec.unit in row, f"row for {name} does not state its unit"
+
+
+def test_every_metric_constant_is_used_by_the_source_tree():
+    """Every name in SPECS is referenced (via its constant) by at least
+    one module outside repro.obs — no dead entries in the surface."""
+    src = Path(__file__).parent.parent / "src" / "repro"
+    constant_of = {
+        value: const
+        for const, value in vars(names).items()
+        if isinstance(value, str) and value in names.SPECS
+    }
+    corpus = "\n".join(
+        path.read_text()
+        for path in src.rglob("*.py")
+        if "obs" not in path.parts
+    )
+    unused = [
+        name for name, const in constant_of.items()
+        if f"names.{const}" not in corpus
+    ]
+    assert not unused, f"declared but never emitted: {sorted(unused)}"
+
+
+def test_span_phases_documented():
+    text = _doc_text()
+    for attr in PHASE_ATTRS:
+        assert f"`{attr}`" in text, f"phase attr {attr} undocumented"
+    for span in ("startup", "roots", "chunk", "batch"):
+        assert any(
+            match.group(1) == span
+            for line in text.splitlines()
+            if (match := _SPAN_ROW.match(line))
+        ), f"span {span!r} missing from the trace-span table"
