@@ -4,15 +4,21 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test docs-check bench
+.PHONY: test suite docs-check faults-check bench
 
-## tier-1: the full unit/integration suite
-test:
+## tier-1: full suite, then the docs and fault-injection contracts
+test: suite docs-check faults-check
+
+suite:
 	$(PYTEST) -x -q
 
 ## fail if the observability surface and docs/metrics.md disagree
 docs-check:
 	$(PYTEST) tests/test_docs_contract.py -q
+
+## fault-injection & chunk-granular recovery suite (docs/faults.md)
+faults-check:
+	$(PYTEST) -m faults -q
 
 ## paper-figure benchmark suite (slow)
 bench:

@@ -4,6 +4,7 @@ Usage:
 
     python -m repro count --graph livejournal --pattern clique4
     python -m repro count --graph mico --pattern clique4 --metrics table
+    python -m repro triangle --graph mico --faults "crash:m1@chunk=2"
     python -m repro motifs --graph mico --size 3 --machines 8
     python -m repro fsm --graph mico --threshold 30
     python -m repro experiment table2 --scale 0.5
@@ -22,6 +23,9 @@ import sys
 
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.cluster import ClusterConfig
+from repro.core import EngineConfig
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.graph import dataset
 from repro.graph.datasets import DATASETS
 from repro.obs import Observability
@@ -56,17 +60,54 @@ def _parse_pattern(spec: str) -> Pattern:
     raise SystemExit(f"unrecognized pattern spec {spec!r}")
 
 
+def _build_engine_config(args) -> EngineConfig | None:
+    """EngineConfig from fault/memory CLI flags; None keeps defaults."""
+    kwargs = {}
+    if getattr(args, "faults", None):
+        try:
+            kwargs["faults"] = FaultPlan.parse(args.faults)
+        except ConfigurationError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}")
+    if getattr(args, "no_recover", False):
+        kwargs["recover"] = False
+    if getattr(args, "chunk_bytes", None):
+        kwargs["chunk_bytes"] = args.chunk_bytes
+    if getattr(args, "no_auto_fit", False):
+        kwargs["auto_fit_chunks"] = False
+    return EngineConfig(**kwargs) if kwargs else None
+
+
 def _build_system(args):
     graph = dataset(args.graph, scale=args.scale,
                     labeled=getattr(args, "labeled", False))
+    cluster_kwargs = {}
+    if getattr(args, "memory_kb", None):
+        cluster_kwargs["memory_bytes"] = args.memory_kb << 10
     config = ClusterConfig(
         num_machines=args.machines,
         cores_per_machine=args.cores,
         sockets_per_machine=args.sockets,
+        **cluster_kwargs,
     )
     obs = Observability() if args.metrics != "off" else None
     cls = KGraphPi if args.system == "k-graphpi" else KAutomine
-    return cls(graph, config, graph_name=args.graph, obs=obs)
+    return cls(graph, config, _build_engine_config(args),
+               graph_name=args.graph, obs=obs)
+
+
+def _finish(args, report) -> int:
+    """Outcome line + exit status shared by every run subcommand.
+
+    Fatal outcomes (``CRASHED``/``OUTOFMEM``/``TIMEOUT``/``DEGRADED``)
+    exit nonzero but never with a traceback — the engine already turned
+    the exception into a structured partial report (docs/faults.md).
+    """
+    failure = report.failure
+    if failure is None:
+        return 0
+    if args.metrics != "json":
+        print(f"outcome: {failure.outcome.value} — {failure.message}")
+    return 1 if failure.fatal else 0
 
 
 def _emit_metrics(args, system, report) -> bool:
@@ -86,6 +127,9 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--machines", type=int, default=8)
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--sockets", type=int, default=2)
+    parser.add_argument("--memory-kb", type=int, default=None,
+                        help="per-machine memory budget in KiB "
+                             "(default: the 64 MiB testbed analogue)")
     parser.add_argument("--system", default="k-automine",
                         choices=["k-automine", "k-graphpi"])
     parser.add_argument(
@@ -93,6 +137,24 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
         help="emit the run's observability surface: 'table' appends a "
              "per-machine breakdown, 'json' prints one JSON document "
              "instead of the normal output (see docs/metrics.md)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection plan, e.g. "
+             "'crash:m1@chunk=2;flaky:p=0.05;slow:m2@x=3' "
+             "(grammar in docs/faults.md)",
+    )
+    parser.add_argument(
+        "--no-recover", action="store_true",
+        help="disable chunk-granular recovery: the first machine crash "
+             "aborts the run with a partial report",
+    )
+    parser.add_argument("--chunk-bytes", type=int, default=None,
+                        help="override the engine chunk budget in bytes")
+    parser.add_argument(
+        "--no-auto-fit", action="store_true",
+        help="disable automatic chunk shrinking under memory pressure "
+             "(undersized clusters then report OUTOFMEM)",
     )
 
 
@@ -109,6 +171,12 @@ def main(argv: list[str] | None = None) -> int:
     count.add_argument("--induced", action="store_true")
     count.add_argument("--oriented", action="store_true",
                        help="degree-orientation preprocessing (cliques)")
+
+    triangle = sub.add_parser(
+        "triangle", help="triangle counting (shorthand for count clique3)"
+    )
+    _add_cluster_flags(triangle)
+    triangle.set_defaults(pattern="clique3", induced=False, oriented=False)
 
     motifs = sub.add_parser("motifs", help="k-motif census")
     _add_cluster_flags(motifs)
@@ -145,41 +213,41 @@ def main(argv: list[str] | None = None) -> int:
         print(result.format())
         return 0
 
-    if args.command == "count":
+    if args.command in ("count", "triangle"):
         system = _build_system(args)
         pattern = _parse_pattern(args.pattern)
         report = system.count_pattern(
             pattern, induced=args.induced, oriented=args.oriented,
-            app=args.pattern,
+            app="triangle" if args.command == "triangle" else args.pattern,
         )
         if args.metrics == "json":
             _emit_metrics(args, system, report)
-            return 0
+            return _finish(args, report)
         print(report.describe())
         print("breakdown:", {k: f"{v:.1%}"
                              for k, v in report.breakdown_fractions().items()})
         _emit_metrics(args, system, report)
-        return 0
+        return _finish(args, report)
 
     if args.command == "motifs":
         system = _build_system(args)
         report = motif_count(system, args.size)
         if args.metrics == "json":
             _emit_metrics(args, system, report)
-            return 0
+            return _finish(args, report)
         for code, value in report.counts.items():
             labels, edges = code
             print(f"  {len(labels)}v/{len(edges)}e {edges}: {value}")
         print(f"simulated: {report.simulated_seconds * 1e3:.3f}ms")
         _emit_metrics(args, system, report)
-        return 0
+        return _finish(args, report)
 
     if args.command == "fsm":
         system = _build_system(args)
         result = run_fsm(system, args.threshold, args.max_edges)
         if args.metrics == "json":
             _emit_metrics(args, system, result.report)
-            return 0
+            return _finish(args, result.report)
         print(
             f"{len(result.frequent)} frequent patterns "
             f"({result.candidates_evaluated} candidates, "
@@ -191,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         # (the engine resets its observability bundle per run); the
         # merged per-machine breakdown covers all rounds
         _emit_metrics(args, system, result.report)
-        return 0
+        return _finish(args, result.report)
 
     raise AssertionError("unreachable")
 

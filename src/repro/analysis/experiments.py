@@ -32,7 +32,7 @@ from repro.baselines.single_machine import peregrine_like
 from repro.cluster import ClusterConfig
 from repro.core import EngineConfig
 from repro.core.cache import CachePolicy
-from repro.errors import OutOfMemoryError, ReproError, TimeoutError
+from repro.errors import OutOfMemoryError, ReproError, SimTimeoutError
 from repro.graph import dataset
 from repro.graph.datasets import DATASETS
 from repro.graph.graph import Graph
@@ -119,13 +119,26 @@ def _run_app(system, app: str):
 
 
 def _attempt(fn: Callable[[], object]):
-    """Run a cell, mapping failures to the paper's outcome strings."""
+    """Run a cell, mapping failures to the paper's outcome strings.
+
+    The Khuzdul engine converts faults into partial reports with a
+    structured :class:`~repro.faults.FailureSummary` instead of raising
+    (docs/faults.md); baselines still raise the underlying errors.
+    Both paths land on the same cell strings here. ``RECOVERED``
+    reports carry complete counts and pass through unchanged.
+    """
     try:
-        return fn()
+        result = fn()
     except OutOfMemoryError:
         return "CRASHED"
-    except TimeoutError:
+    except SimTimeoutError:
         return "TIMEOUT"
+    failure = getattr(result, "failure", None)
+    if failure is not None and failure.fatal:
+        if failure.outcome.value == "TIMEOUT":
+            return "TIMEOUT"
+        return "CRASHED"
+    return result
 
 
 def _cell_time(result) -> object:

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.cluster.costmodel import CostModel, DEFAULT_COST_MODEL
 from repro.core.runtime import RunReport
-from repro.errors import ConfigurationError, OutOfMemoryError, TimeoutError
+from repro.errors import ConfigurationError, OutOfMemoryError, SimTimeoutError
 from repro.graph.graph import Graph
 from repro.graph.partition import HashPartitioner
 from repro.patterns.canonical import canonical_code
@@ -121,10 +121,10 @@ class FractalLike(GPMSystem):
             charge(machine, _EXTEND_COST + _CANONICAL_COST)
             self._classify([edges[e] for e in edge_ids], stats)
             if subgraphs > self.max_subgraphs:
-                raise TimeoutError(float(machine_serial.max() / threads),
+                raise SimTimeoutError(float(machine_serial.max() / threads),
                                    budget or 0.0)
             if budget is not None and machine_serial.max() / threads > budget:
-                raise TimeoutError(machine_serial.max() / threads, budget)
+                raise SimTimeoutError(machine_serial.max() / threads, budget)
 
         # ESU over the line graph, bounded at 3 line-graph vertices
         for root in range(num_edges):

@@ -64,6 +64,8 @@ class Cluster:
             for m in range(config.num_machines)
         ]
         self.network = NetworkModel(config.num_machines, config.cost)
+        #: machines lost to injected crashes during the current run
+        self.dead: set[int] = set()
         for machine in self.machines:
             machine.allocate(self.partitioned.partition_bytes(machine.machine_id))
 
@@ -79,6 +81,32 @@ class Cluster:
         """Machine owning vertex ``v``."""
         return self.partitioned.owner(v)
 
+    # -- failure state --------------------------------------------------
+    def mark_dead(self, machine_id: int) -> None:
+        """Record a machine loss; its partition fails over (replicated
+        storage assumption) to the next live machine in id order."""
+        self.dead.add(machine_id)
+        self.machines[machine_id].alive = False
+
+    def live_ids(self) -> list[int]:
+        return [m.machine_id for m in self.machines if m.machine_id not in self.dead]
+
+    def failover_owner(self, machine_id: int) -> int:
+        """The live machine serving a dead machine's partition: the next
+        live id cyclically after it (deterministic replica placement)."""
+        for step in range(1, self.num_machines):
+            candidate = (machine_id + step) % self.num_machines
+            if candidate not in self.dead:
+                return candidate
+        raise ConfigurationError("no live machine left to serve partition")
+
+    def serving_owner(self, v: int) -> int:
+        """Machine currently able to serve ``v``'s edge list."""
+        owner = self.partitioned.owner(v)
+        if not self.dead or owner not in self.dead:
+            return owner
+        return self.failover_owner(owner)
+
     def runtime(self) -> float:
         """Simulated job runtime: the slowest machine's finish time."""
         return max(m.busy_seconds() for m in self.machines)
@@ -86,4 +114,5 @@ class Cluster:
     def reset_clocks(self) -> None:
         for machine in self.machines:
             machine.reset_clock()
+        self.dead.clear()
         self.network = NetworkModel(self.num_machines, self.cost)

@@ -73,6 +73,8 @@ class MachineState:
     #: concurrent with the machine's own pipeline (Section 6), so it
     #: bounds the machine's finish time via max(), not a sum
     serve_seconds: float = 0.0
+    #: cleared when an injected fault kills the machine mid-run
+    alive: bool = True
 
     # ------------------------------------------------------------------
     @property
@@ -116,3 +118,4 @@ class MachineState:
         self.served_bytes = 0
         self.served_requests = 0
         self.serve_seconds = 0.0
+        self.alive = True

@@ -42,12 +42,22 @@ class NetworkModel:
             (num_machines, num_machines), dtype=np.int64
         )
         self.num_batches = 0
+        #: attached fault injector (None = fault-free run)
+        self.injector = None
+        #: retried fetch attempts and their cumulative backoff seconds
+        self.retries = 0
+        self.retry_seconds = 0.0
+        #: backoff accrued since the scheduler last drained it into a
+        #: communication batch's wire time
+        self._pending_retry_seconds = 0.0
         self._m_requests = NULL_COUNTER
         self._m_payload = NULL_COUNTER
         self._m_wire = NULL_COUNTER
         self._m_batches = NULL_COUNTER
         self._m_batch_bytes = NULL_HISTOGRAM
         self._m_batch_requests = NULL_HISTOGRAM
+        self._m_retries = NULL_COUNTER
+        self._m_retry_backoff = NULL_COUNTER
 
     def bind_metrics(self, metrics: MetricsScope) -> None:
         """Emit ``net.*`` metrics through ``metrics`` from now on."""
@@ -57,6 +67,14 @@ class NetworkModel:
         self._m_batches = metrics.counter(names.NET_BATCHES)
         self._m_batch_bytes = metrics.histogram(names.NET_BATCH_BYTES)
         self._m_batch_requests = metrics.histogram(names.NET_BATCH_REQUESTS)
+        self._m_retries = metrics.counter(names.NET_RETRIES)
+        self._m_retry_backoff = metrics.counter(
+            names.NET_RETRY_BACKOFF_SECONDS
+        )
+
+    def attach_injector(self, injector) -> None:
+        """Route every fetch through ``injector`` (transient failures)."""
+        self.injector = injector
 
     # ------------------------------------------------------------------
     def record_fetch(
@@ -72,8 +90,27 @@ class NetworkModel:
         comes back; both directions are recorded. If ``server`` is given
         the responder's copy cost is charged to its compute clock's
         scheduler bucket (it occupies a communication core).
+
+        With a fault injector attached, the fetch may transiently fail:
+        each failed attempt re-sends the request header (extra wire
+        traffic) and accrues exponential backoff, which the scheduler
+        drains into the batch's communication time. Exhausted retries
+        raise :class:`~repro.errors.FetchFailedError`.
         """
         header = self.cost.request_header_bytes
+        if self.injector is not None:
+            failures, backoff = self.injector.fetch_failures_for(
+                requester, owner
+            )
+            if failures:
+                # each failed attempt still burned a request header
+                self.traffic_bytes[requester, owner] += header * failures
+                self.retries += failures
+                self.retry_seconds += backoff
+                self._pending_retry_seconds += backoff
+                self._m_retries.inc(failures)
+                self._m_retry_backoff.inc(backoff)
+                self._m_wire.inc(header * failures)
         self.traffic_bytes[requester, owner] += header
         self.traffic_bytes[owner, requester] += payload_bytes
         self.request_counts[requester, owner] += 1
@@ -100,6 +137,12 @@ class NetworkModel:
         self._m_batch_bytes.observe(wire_bytes)
         self._m_batch_requests.observe(num_requests)
         return self.cost.batch_latency + wire_bytes / self.cost.network_bandwidth
+
+    def drain_retry_seconds(self) -> float:
+        """Backoff seconds accrued since the last drain (charged by the
+        scheduler to the batch that suffered the retries)."""
+        seconds, self._pending_retry_seconds = self._pending_retry_seconds, 0.0
+        return seconds
 
     def serve_time(self, payload_bytes: int, num_requests: int) -> float:
         """Responder-side cost of copying payloads into send buffers."""

@@ -176,6 +176,24 @@ class EdgeCache:
         )
 
     # ------------------------------------------------------------------
+    def invalidate(self, predicate) -> int:
+        """Drop every entry whose vertex satisfies ``predicate``.
+
+        The static cache normally never changes once full — the one
+        exception is machine loss: entries whose edge lists were served
+        by a now-dead partition must be refetched from the failover
+        owner, so recovery purges them. Returns the number of entries
+        removed; each removal charges one policy-update's bookkeeping.
+        """
+        victims = [v for v in self._entries if predicate(v)]
+        for vertex in victims:
+            self.used_bytes -= self._entries.pop(vertex)
+            self._pending_cost += self.cost.cache_policy_update
+        if victims:
+            self._m_used_bytes.set(self.used_bytes)
+        return len(victims)
+
+    # ------------------------------------------------------------------
     def drain_cost(self) -> float:
         """Accumulated bookkeeping seconds since the last drain."""
         cost, self._pending_cost = self._pending_cost, 0.0

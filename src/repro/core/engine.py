@@ -10,6 +10,7 @@ simulated runtime is the slowest machine's clock.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -20,7 +21,16 @@ from repro.core.cache import CachePolicy, EdgeCache
 from repro.core.extend import ScheduleExtender
 from repro.core.runtime import RunReport
 from repro.core.scheduler import MachineScheduler, Udf
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    FetchFailedError,
+    MachineCrashError,
+    OutOfMemoryError,
+    SimTimeoutError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import FailureSummary, Outcome, split_roots
 from repro.obs import NULL_OBS, Observability, Span, names
 from repro.patterns.schedule import Schedule
 
@@ -58,6 +68,12 @@ class EngineConfig:
     numa_aware: bool = True
     #: simulated-seconds budget per machine; None = no timeout
     time_budget: Optional[float] = None
+    #: injected faults for this engine's runs (docs/faults.md);
+    #: None = fault-free execution with zero overhead
+    faults: Optional[FaultPlan] = None
+    #: reassign a crashed machine's remaining work to survivors; with
+    #: False, a crash ends the run with a partial CRASHED report
+    recover: bool = True
 
     def __post_init__(self):
         if self.chunk_bytes < 1024:
@@ -154,12 +170,37 @@ class KhuzdulEngine:
         if obs.registry.enabled:
             # reset_clocks rebuilt the network model; re-attach metrics
             cluster.network.bind_metrics(obs.registry.scope())
+        injector = None
+        if config.faults is not None and not config.faults.empty:
+            # the injector outlives reset_clocks' network rebuild, so it
+            # must be (re-)attached here, once per run
+            injector = FaultInjector(
+                config.faults, metrics=obs.registry.scope()
+            )
+            cluster.network.attach_injector(injector)
+        rec_scope = obs.registry.scope()
+        m_reassigned_roots = rec_scope.counter(
+            names.RECOVERY_REASSIGNED_ROOTS
+        )
+        m_reassigned_chunks = rec_scope.counter(
+            names.RECOVERY_REASSIGNED_CHUNKS
+        )
+        m_invalidated = rec_scope.counter(names.RECOVERY_INVALIDATED_ENTRIES)
+
+        failure: Optional[FailureSummary] = None
+        recovered = False
+        events: list[dict] = []
+        recovery_stats = {
+            "reassigned_roots": 0,
+            "reassigned_chunks": 0,
+            "invalidated_entries": 0,
+            "checkpoints": 0,
+        }
 
         cache_capacity = int(config.cache_fraction * graph.size_bytes())
         caches = []
         machine_scopes = []
         for machine in cluster.machines:
-            machine.allocate(cache_capacity)  # pre-allocated pool
             scope = obs.registry.scope(machine=machine.machine_id)
             machine_scopes.append(scope)
             caches.append(
@@ -170,6 +211,16 @@ class KhuzdulEngine:
                     cluster.cost,
                     metrics=scope,
                 )
+            )
+        allocated = []
+        try:
+            for machine in cluster.machines:
+                machine.allocate(cache_capacity)  # pre-allocated pool
+                allocated.append(machine)
+        except OutOfMemoryError as exc:
+            failure = FailureSummary(
+                Outcome.OUTOFMEM, exc.machine_id, str(exc),
+                cluster.runtime(), events=events,
             )
         startup_counters = [
             scope.counter(names.TIME_SCHEDULER) for scope in machine_scopes
@@ -185,8 +236,22 @@ class KhuzdulEngine:
         hds_stats = {"hits": 0, "probes": 0, "drops": 0}
         fetch_sources = {"local": 0, "remote": 0, "cache": 0, "shared": 0}
         chunks_created = 0
+
+        def absorb(scheduler: MachineScheduler) -> None:
+            """Fold a finished (or dying) scheduler's stats into the run."""
+            nonlocal chunks_created
+            hds_stats["hits"] += scheduler.hds.hits
+            hds_stats["probes"] += scheduler.hds.probes
+            hds_stats["drops"] += scheduler.hds.drops
+            for source, count in scheduler.fetch_sources.items():
+                fetch_sources[source.value] += count
+            chunks_created += scheduler.chunks_created
+            recovery_stats["checkpoints"] += scheduler.checkpoints_taken
+
         try:
             for index, schedule in enumerate(schedules):
+                if failure is not None:
+                    break
                 chunk_bytes = config.chunk_bytes
                 if config.auto_fit_chunks:
                     levels = max(1, schedule.pattern.num_vertices - 2)
@@ -194,19 +259,46 @@ class KhuzdulEngine:
                         cluster.config.memory_bytes, levels
                     )
                     chunk_bytes = max(1024, min(chunk_bytes, headroom))
-                for machine in cluster.machines:
+                # Work queue of (machine, roots) shards. Fault-free runs
+                # enqueue exactly one shard per machine; crash recovery
+                # appends the orphaned remainder as survivor shards.
+                shards: deque[_Shard] = deque(
+                    _Shard(machine.machine_id,
+                           self._roots_for(machine.machine_id, schedule))
+                    for machine in cluster.machines
+                )
+                while shards:
+                    shard = shards.popleft()
+                    mid = shard.machine_id
+                    if mid in cluster.dead:
+                        # owner died after this shard was queued (earlier
+                        # pattern, or a multi-crash plan): bounce its
+                        # whole share to the survivors
+                        live = cluster.live_ids()
+                        if not live:
+                            failure = FailureSummary(
+                                Outcome.CRASHED, mid,
+                                "no live machine left to take over",
+                                cluster.runtime(), events=events,
+                            )
+                            break
+                        pieces = split_roots(shard.roots, live)
+                        for survivor, share in pieces:
+                            shards.append(_Shard(survivor, share,
+                                                 recovery=True))
+                        recovery_stats["reassigned_roots"] += len(shard.roots)
+                        m_reassigned_roots.inc(len(shard.roots))
+                        continue
+                    machine = cluster.machines[mid]
                     machine.clock.scheduler += cluster.cost.engine_startup
-                    startup_counters[machine.machine_id].inc(
-                        cluster.cost.engine_startup
-                    )
+                    startup_counters[mid].inc(cluster.cost.engine_startup)
                     if obs.tracer.enabled:
                         obs.tracer.record(Span(
-                            "startup", machine.machine_id,
+                            "startup", mid,
                             start=machine.clock.total(),
                             attrs={"scheduler": cluster.cost.engine_startup,
                                    "pattern": index},
                         ))
-                    roots = self._roots_for(machine.machine_id, schedule)
                     if udf is None:
                         machine_udf: Udf = _NULL_UDF
                     else:
@@ -217,9 +309,9 @@ class KhuzdulEngine:
                         extender=ScheduleExtender(
                             schedule,
                             vcs=config.vcs,
-                            metrics=machine_scopes[machine.machine_id],
+                            metrics=machine_scopes[mid],
                         ),
-                        cache=caches[machine.machine_id],
+                        cache=caches[mid],
                         udf=machine_udf,
                         chunk_bytes=chunk_bytes,
                         hds_enabled=config.hds,
@@ -230,17 +322,151 @@ class KhuzdulEngine:
                         circulant=config.circulant,
                         time_budget=config.time_budget,
                         obs=obs,
+                        faults=injector,
                     )
-                    counts[index] += scheduler.run(roots)
-                    hds_stats["hits"] += scheduler.hds.hits
-                    hds_stats["probes"] += scheduler.hds.probes
-                    hds_stats["drops"] += scheduler.hds.drops
-                    for source, count in scheduler.fetch_sources.items():
-                        fetch_sources[source.value] += count
-                    chunks_created += scheduler.chunks_created
+                    try:
+                        shard_matches = scheduler.run(shard.roots)
+                    except MachineCrashError as exc:
+                        absorb(scheduler)
+                        ckpt = scheduler.checkpoint
+                        # only work up to the last checkpoint survives;
+                        # everything past it is replayed by survivors,
+                        # which is what keeps recovered counts exact
+                        counts[index] += ckpt.matches
+                        cluster.mark_dead(mid)
+                        event = {
+                            "kind": "crash",
+                            "machine": mid,
+                            "trigger": exc.trigger,
+                            "pattern": index,
+                            "roots_completed": ckpt.roots_completed,
+                            "checkpoint_matches": ckpt.matches,
+                        }
+                        events.append(event)
+                        if not config.recover:
+                            failure = FailureSummary(
+                                Outcome.CRASHED, mid, str(exc),
+                                cluster.runtime(), events=events,
+                            )
+                            break
+                        live = cluster.live_ids()
+                        if not live:
+                            failure = FailureSummary(
+                                Outcome.CRASHED, mid,
+                                "machine crashed and no survivors remain",
+                                cluster.runtime(), events=events,
+                            )
+                            break
+                        # survivors drop cache entries sourced from the
+                        # dead partition (they would alias buffers the
+                        # failover owner now serves afresh)
+                        owner_of = cluster.partitioned.owner
+                        invalidated = 0
+                        for sid in live:
+                            invalidated += caches[sid].invalidate(
+                                lambda v: owner_of(v) == mid
+                            )
+                        recovery_stats["invalidated_entries"] += invalidated
+                        m_invalidated.inc(invalidated)
+                        remaining = shard.roots[ckpt.roots_completed:]
+                        try:
+                            for survivor, share in split_roots(
+                                remaining, live
+                            ):
+                                self._charge_refetch(
+                                    survivor, mid, share,
+                                    machine_scopes[survivor],
+                                )
+                                shards.append(_Shard(survivor, share,
+                                                     recovery=True))
+                        except FetchFailedError as refetch_exc:
+                            failure = FailureSummary(
+                                Outcome.DEGRADED, mid, str(refetch_exc),
+                                cluster.runtime(), events=events,
+                            )
+                            break
+                        recovery_stats["reassigned_roots"] += len(remaining)
+                        m_reassigned_roots.inc(len(remaining))
+                        event["reassigned_roots"] = int(len(remaining))
+                        event["survivors"] = live
+                        recovered = True
+                        continue
+                    except OutOfMemoryError as exc:
+                        absorb(scheduler)
+                        counts[index] += scheduler.checkpoint.matches
+                        failure = FailureSummary(
+                            Outcome.OUTOFMEM, exc.machine_id, str(exc),
+                            cluster.runtime(), events=events,
+                        )
+                        break
+                    except FetchFailedError as exc:
+                        absorb(scheduler)
+                        counts[index] += scheduler.checkpoint.matches
+                        events.append({
+                            "kind": "fetch_failed",
+                            "machine": mid,
+                            "owner": exc.owner,
+                            "attempts": exc.attempts,
+                            "pattern": index,
+                        })
+                        failure = FailureSummary(
+                            Outcome.DEGRADED, mid, str(exc),
+                            cluster.runtime(), events=events,
+                        )
+                        break
+                    except SimTimeoutError as exc:
+                        absorb(scheduler)
+                        counts[index] += scheduler.checkpoint.matches
+                        failure = FailureSummary(
+                            Outcome.TIMEOUT, mid, str(exc),
+                            cluster.runtime(), events=events,
+                        )
+                        break
+                    absorb(scheduler)
+                    counts[index] += shard_matches
+                    if shard.recovery:
+                        recovery_stats["reassigned_chunks"] += (
+                            scheduler.chunks_created
+                        )
+                        m_reassigned_chunks.inc(scheduler.chunks_created)
+                    # the scheduler polices the budget at chunk
+                    # boundaries; this engine-level check also covers
+                    # runs that never reach one (trivial patterns) and
+                    # the final overshoot of a machine's last chunk
+                    if (
+                        config.time_budget is not None
+                        and machine.clock.total() > config.time_budget
+                    ):
+                        failure = FailureSummary(
+                            Outcome.TIMEOUT, mid,
+                            f"machine {mid} finished at "
+                            f"{machine.clock.total():.3g}s, over the "
+                            f"{config.time_budget:.3g}s budget",
+                            cluster.runtime(), events=events,
+                        )
+                        break
         finally:
-            for machine in cluster.machines:
+            for machine in allocated:
                 machine.release(cache_capacity)
+
+        if failure is None and injector is not None and (
+            recovered or injector.fetch_failures > 0
+        ):
+            crash_events = [e for e in events if e["kind"] == "crash"]
+            failure = FailureSummary(
+                Outcome.RECOVERED,
+                machine_id=(
+                    crash_events[0]["machine"] if crash_events else None
+                ),
+                message=(
+                    f"recovered: {len(crash_events)} machine(s) lost, "
+                    f"{injector.fetch_failures} transient fetch "
+                    f"failure(s) retried; counts are complete"
+                ),
+                simulated_seconds=cluster.runtime(),
+                partial=False,
+                events=events,
+            )
 
         runtime = cluster.runtime()
         slowest = max(cluster.machines, key=lambda m: m.busy_seconds())
@@ -277,7 +503,19 @@ class KhuzdulEngine:
                 "requests": cluster.network.total_requests(),
                 "serve_seconds": max(m.serve_seconds for m in cluster.machines),
             },
+            failure=failure,
         )
+        if injector is not None or failure is not None:
+            report.extra["faults"] = {
+                **(injector.stats() if injector is not None else {}),
+                "net_retries": cluster.network.retries,
+                "retry_backoff_seconds": cluster.network.retry_seconds,
+                "plan": (
+                    config.faults.describe()
+                    if config.faults is not None else None
+                ),
+            }
+            report.extra["recovery"] = dict(recovery_stats)
         if obs.enabled:
             summary = obs.summary()
             summary["network"] = {
@@ -292,6 +530,36 @@ class KhuzdulEngine:
             report.extra["obs"] = summary
         return counts, report
 
+    def _charge_refetch(
+        self, survivor_id: int, dead_id: int, roots: np.ndarray, scope
+    ) -> None:
+        """Bulk re-fetch of a survivor's share of the lost partition.
+
+        Storage is replicated by assumption: the failover owner streams
+        the orphaned roots' edge lists to the survivor in one batch
+        before the replay starts. The transfer is real traffic (it goes
+        through ``record_fetch``, so flaky-fetch faults apply to it too)
+        and its wire time lands on the survivor's network clock.
+        """
+        cluster = self.cluster
+        if len(roots) == 0:
+            return
+        source = cluster.failover_owner(dead_id)
+        if source == survivor_id:
+            return  # the replica holder already has the bytes locally
+        graph = cluster.graph
+        payload = int(
+            sum(graph.edge_list_bytes(int(v)) for v in roots)
+        )
+        server = cluster.machines[source]
+        cluster.network.record_fetch(survivor_id, source, payload, server)
+        comm = cluster.network.batch_time(payload, 1)
+        comm += cluster.network.drain_retry_seconds()
+        cluster.machines[survivor_id].clock.network += comm
+        scope.counter(names.TIME_NETWORK).inc(comm)
+        serve = cluster.network.serve_time(payload, 1)
+        server.serve_seconds += serve / server.comm_threads
+
     def _roots_for(self, machine_id: int, schedule: Schedule) -> np.ndarray:
         """Local partition vertices, filtered by the root label if any."""
         roots = self.cluster.partitioned.local_vertices(machine_id)
@@ -300,6 +568,19 @@ class KhuzdulEngine:
             labels = self.cluster.graph.labels[roots]
             roots = roots[labels == root_label]
         return roots
+
+
+@dataclass
+class _Shard:
+    """One unit of the engine's work queue: a machine and its roots.
+
+    ``recovery`` marks shards created by reassignment, whose chunk
+    creations feed the ``recovery.reassigned_chunks`` metric.
+    """
+
+    machine_id: int
+    roots: np.ndarray
+    recovery: bool = False
 
 
 def _NULL_UDF(prefix: tuple[int, ...], candidates: np.ndarray) -> None:

@@ -125,3 +125,23 @@ class HorizontalShareTable:
         engine aggregates into ``RunReport.extra['hds']``.
         """
         self._slots.clear()
+
+    def invalidate(self, predicate=None) -> int:
+        """Drop entries whose vertex satisfies ``predicate`` (all when
+        ``None``). HDS entries alias buffers of fetches already
+        scheduled within the current chunk, so when the machine that
+        sourced those buffers is lost the aliases must go too; returns
+        the number of vertices removed."""
+        if predicate is None:
+            removed = sum(len(chain) for chain in self._slots.values())
+            self._slots.clear()
+            return removed
+        removed = 0
+        for slot in list(self._slots):
+            chain = [v for v in self._slots[slot] if not predicate(v)]
+            removed += len(self._slots[slot]) - len(chain)
+            if chain:
+                self._slots[slot] = chain
+            else:
+                del self._slots[slot]
+        return removed

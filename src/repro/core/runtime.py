@@ -9,6 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.faults.recovery import FailureSummary
+
 
 def format_seconds(seconds: float) -> str:
     """Human-readable simulated time (the paper mixes ms/s/h units)."""
@@ -56,6 +58,16 @@ class RunReport:
     num_machines: int = 1
     #: free-form extras (hds stats, chunk counts, ...)
     extra: dict[str, Any] = field(default_factory=dict)
+    #: structured account of faults met during the run; None = clean.
+    #: ``RECOVERED`` failures carry complete counts, every other
+    #: outcome means the counts are partial.
+    failure: Optional[FailureSummary] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def outcome(self) -> str:
+        """``OK``, ``RECOVERED``, or a failure outcome (Table 2 cells)."""
+        return self.failure.outcome.value if self.failure else "OK"
 
     # ------------------------------------------------------------------
     def breakdown_fractions(self) -> dict[str, float]:
@@ -73,12 +85,15 @@ class RunReport:
 
     def describe(self) -> str:
         """One-line summary used by the examples."""
-        return (
+        line = (
             f"{self.system:<14} {self.app:<8} {self.graph_name:<12} "
             f"time={format_seconds(self.simulated_seconds):>9} "
             f"traffic={format_bytes(self.network_bytes):>9} "
             f"count={self.counts}"
         )
+        if self.failure is not None:
+            line += f" [{self.outcome}]"
+        return line
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-friendly dump of every field (``--metrics json``)."""
@@ -86,7 +101,7 @@ class RunReport:
         if isinstance(counts, dict):
             # motif censuses key counts by (labels, edges) tuples
             counts = {str(k): v for k, v in counts.items()}
-        return {
+        document = {
             "system": self.system,
             "app": self.app,
             "graph_name": self.graph_name,
@@ -103,3 +118,9 @@ class RunReport:
             "num_machines": self.num_machines,
             "extra": self.extra,
         }
+        if self.failure is not None:
+            # fault-free documents keep their pre-fault shape (pinned
+            # by the golden-file test); failed runs add the summary
+            document["outcome"] = self.outcome
+            document["failure"] = self.failure.to_dict()
+        return document

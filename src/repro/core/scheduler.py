@@ -40,7 +40,9 @@ from repro.core.embedding import EdgeListSource, ExtendableEmbedding
 from repro.core.extend import ScheduleExtender
 from repro.core.hds import HorizontalShareTable, ProbeOutcome
 from repro.core.pipeline import pipeline_time
-from repro.errors import TimeoutError
+from repro.errors import MachineCrashError, SimTimeoutError
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import Checkpoint
 from repro.obs import NULL_OBS, Observability, Span, names
 
 #: UDF signature: (prefix vertices, completing candidates array).
@@ -105,6 +107,7 @@ class MachineScheduler:
         circulant: bool = True,
         time_budget: Optional[float] = None,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.cluster = cluster
         self.machine = machine
@@ -119,6 +122,15 @@ class MachineScheduler:
         self.circulant = circulant
         self.time_budget = time_budget
         self.cost = cluster.cost
+        self.faults = faults
+        #: straggler degradation: >1 stretches compute and link time
+        self._slow_factor = (
+            faults.slowdown(machine.machine_id) if faults is not None else 1.0
+        )
+        #: enumeration cursor at the last completed root chunk — what a
+        #: crashed machine's recovery restarts from (docs/faults.md)
+        self.checkpoint = Checkpoint(machine_id=machine.machine_id)
+        self.checkpoints_taken = 0
         self.matches = 0
         self.chunks_created = 0
         #: how each embedding's active edge list was satisfied
@@ -143,6 +155,7 @@ class MachineScheduler:
             EdgeListSource.SHARED: scope.counter(names.FETCH_SHARED),
         }
         self._m_chunks = scope.counter(names.CHUNKS_CREATED)
+        self._m_checkpoints = scope.counter(names.RECOVERY_CHECKPOINTS)
         self._m_chunk_items = scope.histogram(names.CHUNK_ITEMS)
         self._m_overlap = scope.histogram(names.CHUNK_OVERLAP)
         self._m_matches = scope.counter(names.MATCHES_EMITTED)
@@ -163,14 +176,46 @@ class MachineScheduler:
         )
 
     def _parallel(self, serial_seconds: float) -> float:
-        return self.machine.parallel_compute_time(serial_seconds)
+        return (
+            self.machine.parallel_compute_time(serial_seconds)
+            * self._slow_factor
+        )
 
     def _check_budget(self) -> None:
         if (
             self.time_budget is not None
             and self.machine.clock.total() > self.time_budget
         ):
-            raise TimeoutError(self.machine.clock.total(), self.time_budget)
+            raise SimTimeoutError(self.machine.clock.total(), self.time_budget)
+
+    def _register_chunk(self) -> None:
+        """Count a chunk creation; the injector's crash triggers fire
+        here (chunk creation is the scheduler's heartbeat)."""
+        self.chunks_created += 1
+        self._m_chunks.inc()
+        if self.faults is not None:
+            self.faults.on_chunk_created(
+                self.machine.machine_id, self.machine.clock.total()
+            )
+
+    def _take_checkpoint(self, consumed_roots: int) -> None:
+        """Advance the recovery cursor past a completed root chunk.
+
+        The cursor itself is metadata the scheduler already maintains;
+        persisting it is charged (one task-schedule quantum) only when a
+        fault plan is active, so fault-free runs stay byte-identical.
+        """
+        ckpt = self.checkpoint
+        ckpt.roots_completed += consumed_roots
+        ckpt.matches = self.matches
+        ckpt.chunk_index = self.chunks_created
+        ckpt.simulated_seconds = self.machine.clock.total()
+        self.checkpoints_taken += 1
+        self._m_checkpoints.inc()
+        if self.faults is not None:
+            seconds = self.cost.task_schedule
+            self.machine.clock.scheduler += seconds
+            self._m_t_scheduler.inc(seconds)
 
     # ------------------------------------------------------------------
     # main loop
@@ -189,25 +234,34 @@ class MachineScheduler:
                     "roots", self.machine.machine_id, level=0,
                     attrs={"compute": seconds, "items": len(roots)},
                 ))
+            self._take_checkpoint(len(roots))
             return self.matches
 
         root_needs_fetch = self.extender.schedule.root_active()
         root_iter = iter(roots)
-        while True:
-            root_chunk = self._fill_root_chunk(root_iter, root_needs_fetch)
-            if root_chunk is None:
-                break
-            self._explore_from(root_chunk)
-            self._check_budget()
+        try:
+            while True:
+                root_chunk = self._fill_root_chunk(root_iter, root_needs_fetch)
+                if root_chunk is None:
+                    break
+                consumed = len(root_chunk.items)
+                self._explore_from(root_chunk)
+                self._take_checkpoint(consumed)
+                self._check_budget()
+        except MachineCrashError:
+            # this machine's HDS entries alias fetch buffers that died
+            # with it; drop them so nothing dangles past the crash
+            self.hds.invalidate()
+            self.machine.alive = False
+            raise
         return self.matches
 
     def _fill_root_chunk(
         self, root_iter, root_needs_fetch: bool
     ) -> Optional[Chunk]:
         """Level-0 chunk: single-vertex embeddings, all data local."""
+        self._register_chunk()
         chunk = Chunk(0, self.chunk_bytes, self.machine)
-        self.chunks_created += 1
-        self._m_chunks.inc()
         for root in root_iter:
             emb = ExtendableEmbedding(int(root), 0, None, root_needs_fetch)
             emb.mark_ready(EdgeListSource.LOCAL)  # roots are owned locally
@@ -265,10 +319,9 @@ class MachineScheduler:
         level = state.chunk.level
         child_level = level + 1
         needs_fetch = self.extender.needs_edge_list(child_level)
+        self._register_chunk()
         chunk = Chunk(child_level, self.chunk_bytes, self.machine,
                       preallocate=True)
-        self.chunks_created += 1
-        self._m_chunks.inc()
         items = state.chunk.items
         while not chunk.full:
             if state.resume is None:
@@ -348,7 +401,10 @@ class MachineScheduler:
                 continue
             v = emb.vertex
             reserved = self.graph.edge_list_bytes(v)
-            owner = self.cluster.owner(v)
+            # failover-aware: a dead hash owner's partition is served by
+            # its replica holder (docs/faults.md); fault-free runs take
+            # the plain hash-owner fast path inside serving_owner
+            owner = self.cluster.serving_owner(v)
             if owner == me:
                 emb.mark_ready(EdgeListSource.LOCAL)
                 self.fetch_sources[EdgeListSource.LOCAL] += 1
@@ -396,6 +452,10 @@ class MachineScheduler:
                 self.fetch_sources[EdgeListSource.REMOTE] += 1
                 self._m_fetch[EdgeListSource.REMOTE].inc()
             comm = self.cluster.network.batch_time(payload, len(batch))
+            # injected transient failures: their backoff waits extend
+            # this batch's wire time; a straggler's slow link stretches it
+            comm += self.cluster.network.drain_retry_seconds()
+            comm *= self._slow_factor
             serve = self.cluster.network.serve_time(payload, len(batch))
             server.serve_seconds += serve / server.comm_threads
             state.comm_times.append(comm)

@@ -41,8 +41,13 @@ class OutOfMemoryError(ReproError):
         )
 
 
-class TimeoutError(ReproError):
-    """A simulated run exceeded the configured simulated-time budget."""
+class SimTimeoutError(ReproError):
+    """A simulated run exceeded the configured simulated-time budget.
+
+    Named ``Sim...`` so it cannot shadow the :class:`TimeoutError`
+    builtin: the old name made a bare ``except TimeoutError`` in code
+    that imported this module silently catch the wrong class.
+    """
 
     def __init__(self, simulated_seconds: float, budget_seconds: float):
         self.simulated_seconds = simulated_seconds
@@ -50,6 +55,37 @@ class TimeoutError(ReproError):
         super().__init__(
             f"simulated runtime {simulated_seconds:.1f}s exceeded "
             f"budget {budget_seconds:.1f}s"
+        )
+
+
+#: Deprecated alias kept for one release; import SimTimeoutError instead.
+TimeoutError = SimTimeoutError
+
+
+class MachineCrashError(ReproError):
+    """A simulated machine was killed by an injected fault.
+
+    Raised out of the scheduler's chunk loop when a
+    :class:`~repro.faults.FaultInjector` crash trigger fires; the engine
+    converts it into recovery (work reassignment) or a partial report.
+    """
+
+    def __init__(self, machine_id: int, trigger: str):
+        self.machine_id = machine_id
+        self.trigger = trigger
+        super().__init__(f"machine {machine_id} crashed ({trigger})")
+
+
+class FetchFailedError(ReproError):
+    """A remote edge-list fetch kept failing after every retry."""
+
+    def __init__(self, requester: int, owner: int, attempts: int):
+        self.requester = requester
+        self.owner = owner
+        self.attempts = attempts
+        super().__init__(
+            f"fetch {requester} -> {owner} failed after "
+            f"{attempts} attempts"
         )
 
 

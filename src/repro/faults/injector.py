@@ -1,0 +1,114 @@
+"""The fault injector: interprets a plan at the engine's seams.
+
+One injector serves one engine run. It is attached to the network
+model (flaky fetches) and passed to every scheduler the engine builds
+(crash triggers, straggler factors). All randomness comes from one
+``random.Random(plan.seed)`` consumed in fetch order — the simulation
+is sequential and deterministic, so the same plan against the same
+run yields byte-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.errors import FetchFailedError, MachineCrashError
+from repro.faults.plan import FaultPlan
+from repro.obs import names
+from repro.obs.metrics import MetricsScope, scope_or_null
+
+import random
+
+
+class FaultInjector:
+    """Stateful interpreter of one :class:`FaultPlan` for one run."""
+
+    def __init__(
+        self, plan: FaultPlan, metrics: Optional[MetricsScope] = None
+    ):
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: chunk creations per machine (crash-trigger clock)
+        self._chunk_counts: dict[int, int] = defaultdict(int)
+        self._fired: set[int] = set()
+        self._noted_stragglers: set[int] = set()
+        #: plain-int mirrors, reported via RunReport.extra["faults"]
+        self.crashes = 0
+        self.fetch_failures = 0
+        self.stragglers_noted = 0
+        scope = scope_or_null(metrics)
+        self._m_crashes = scope.counter(names.FAULT_CRASHES)
+        self._m_fetch_failures = scope.counter(names.FAULT_FETCH_FAILURES)
+        self._m_stragglers = scope.counter(names.FAULT_STRAGGLERS)
+
+    # ------------------------------------------------------------------
+    # crash triggers (scheduler chunk-loop seam)
+    # ------------------------------------------------------------------
+    def on_chunk_created(self, machine_id: int, now: float) -> None:
+        """Advance the machine's chunk clock; raise if a trigger fires."""
+        self._chunk_counts[machine_id] += 1
+        count = self._chunk_counts[machine_id]
+        for index, crash in enumerate(self.plan.crashes):
+            if crash.machine != machine_id or index in self._fired:
+                continue
+            chunk_hit = crash.at_chunk is not None and count >= crash.at_chunk
+            time_hit = crash.at_time is not None and now >= crash.at_time
+            if chunk_hit or time_hit:
+                self._fired.add(index)
+                self.crashes += 1
+                self._m_crashes.inc()
+                raise MachineCrashError(machine_id, crash.describe())
+
+    # ------------------------------------------------------------------
+    # transient fetch failures (network seam)
+    # ------------------------------------------------------------------
+    def fetch_failures_for(
+        self, requester: int, owner: int
+    ) -> tuple[int, float]:
+        """Decide how often one fetch fails before succeeding.
+
+        Returns ``(failures, backoff_seconds)``; raises
+        :class:`FetchFailedError` once the retry budget is exhausted.
+        Each failed attempt waits ``backoff_base * factor**i`` simulated
+        seconds before the next try (exponential backoff).
+        """
+        p = self.plan.flaky_p
+        if p <= 0.0:
+            return 0, 0.0
+        failures = 0
+        backoff = 0.0
+        while self._rng.random() < p:
+            failures += 1
+            self.fetch_failures += 1
+            self._m_fetch_failures.inc()
+            if failures > self.plan.max_retries:
+                raise FetchFailedError(requester, owner, failures)
+            backoff += (
+                self.plan.backoff_base
+                * self.plan.backoff_factor ** (failures - 1)
+            )
+        return failures, backoff
+
+    # ------------------------------------------------------------------
+    # straggler degradation (scheduler timing seam)
+    # ------------------------------------------------------------------
+    def slowdown(self, machine_id: int) -> float:
+        """Compute/link stretch factor for ``machine_id`` (1.0 = healthy)."""
+        factor = 1.0
+        for straggler in self.plan.stragglers:
+            if straggler.machine == machine_id:
+                factor = max(factor, straggler.factor)
+        if factor > 1.0 and machine_id not in self._noted_stragglers:
+            self._noted_stragglers.add(machine_id)
+            self.stragglers_noted += 1
+            self._m_stragglers.inc()
+        return factor
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "crashes": self.crashes,
+            "fetch_failures": self.fetch_failures,
+            "stragglers": self.stragglers_noted,
+        }

@@ -1,0 +1,109 @@
+"""Recovery primitives: outcomes, failure summaries, checkpoints.
+
+These are the data types the engine uses to *survive* what the
+injector does. They live in the leaf ``repro.faults`` package so that
+``core.runtime`` (the :class:`RunReport`) can carry a
+:class:`FailureSummary` without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+import numpy as np
+
+
+class Outcome(str, Enum):
+    """How a run that met a fault ended (Table 2/3's cell vocabulary,
+    extended with the recovery outcomes this engine adds)."""
+
+    #: a machine died and recovery was off (or no survivors remained)
+    CRASHED = "CRASHED"
+    #: a simulated machine exceeded its memory capacity
+    OUTOFMEM = "OUTOFMEM"
+    #: the simulated-time budget was exceeded
+    TIMEOUT = "TIMEOUT"
+    #: a remote fetch exhausted its retries; counts are partial
+    DEGRADED = "DEGRADED"
+    #: faults were injected, work was reassigned, counts are complete
+    RECOVERED = "RECOVERED"
+
+    def __str__(self) -> str:  # json/format friendliness
+        return self.value
+
+
+@dataclass
+class FailureSummary:
+    """Structured account of what went wrong (and what survived).
+
+    Attached to :class:`~repro.core.runtime.RunReport` instead of
+    raising, so callers always get the partial measurements. ``partial``
+    is ``False`` only for :data:`Outcome.RECOVERED`, whose counts are
+    provably complete (the determinism tests pin this).
+    """
+
+    outcome: Outcome
+    machine_id: Optional[int] = None
+    message: str = ""
+    simulated_seconds: float = 0.0
+    partial: bool = True
+    #: one dict per fault event ({"kind", "machine", "trigger", ...})
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def fatal(self) -> bool:
+        return self.outcome is not Outcome.RECOVERED
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "outcome": self.outcome.value,
+            "machine_id": self.machine_id,
+            "message": self.message,
+            "simulated_seconds": self.simulated_seconds,
+            "partial": self.partial,
+            "events": list(self.events),
+        }
+
+
+@dataclass
+class Checkpoint:
+    """A machine's enumeration cursor at the last completed root chunk.
+
+    Khuzdul's DFS-between-chunks discipline empties the whole stack
+    every time a root chunk's subtree is exhausted, so the root-chunk
+    boundary is the natural recovery point: nothing below it is live.
+    ``roots_completed`` counts fully-explored roots (a prefix of the
+    scheduler's root array), ``matches`` is the match total *at that
+    boundary* — work past the checkpoint is discarded on a crash and
+    replayed by the survivors, which is what keeps recovered counts
+    exact.
+    """
+
+    machine_id: int = 0
+    roots_completed: int = 0
+    matches: int = 0
+    #: cumulative chunks the scheduler had created at the boundary
+    chunk_index: int = 0
+    simulated_seconds: float = 0.0
+
+
+def split_roots(
+    roots: np.ndarray, survivors: list[int]
+) -> list[tuple[int, np.ndarray]]:
+    """Deterministic round-robin reassignment of orphaned roots.
+
+    Survivor ``survivors[i]`` receives ``roots[i::len(survivors)]``;
+    the list order (ascending machine id) makes the decision a pure
+    function of (roots, survivor set), which the determinism test
+    relies on.
+    """
+    if len(roots) == 0:
+        return []
+    ordered = sorted(survivors)
+    return [
+        (machine, roots[i::len(ordered)])
+        for i, machine in enumerate(ordered)
+        if len(roots[i::len(ordered)])
+    ]

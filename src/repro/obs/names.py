@@ -80,6 +80,19 @@ NET_WIRE_BYTES = "net.wire_bytes"
 NET_BATCHES = "net.batches"
 NET_BATCH_BYTES = "net.batch_bytes"
 NET_BATCH_REQUESTS = "net.batch_requests"
+NET_RETRIES = "net.retries"
+NET_RETRY_BACKOFF_SECONDS = "net.retry_backoff_seconds"
+
+# ---------------------------------------------------------------------
+# fault injection & recovery (docs/faults.md)
+# ---------------------------------------------------------------------
+FAULT_CRASHES = "fault.crashes"
+FAULT_FETCH_FAILURES = "fault.fetch_failures"
+FAULT_STRAGGLERS = "fault.stragglers"
+RECOVERY_CHECKPOINTS = "recovery.checkpoints"
+RECOVERY_REASSIGNED_ROOTS = "recovery.reassigned_roots"
+RECOVERY_REASSIGNED_CHUNKS = "recovery.reassigned_chunks"
+RECOVERY_INVALIDATED_ENTRIES = "recovery.invalidated_entries"
 
 # ---------------------------------------------------------------------
 # simulated-time attribution (Figure 15 categories)
@@ -154,6 +167,29 @@ SPECS: dict[str, MetricSpec] = dict(
               "wire bytes per communication batch"),
         _spec(NET_BATCH_REQUESTS, "histogram", "requests", "Fig 19",
               "fetch requests per communication batch"),
+        _spec(NET_RETRIES, "counter", "requests", "docs/faults.md",
+              "fetch attempts repeated after an injected transient failure"),
+        _spec(NET_RETRY_BACKOFF_SECONDS, "counter", "seconds",
+              "docs/faults.md",
+              "simulated seconds spent in retry exponential backoff"),
+        _spec(FAULT_CRASHES, "counter", "crashes", "docs/faults.md",
+              "machine-crash triggers fired by the fault injector"),
+        _spec(FAULT_FETCH_FAILURES, "counter", "failures", "docs/faults.md",
+              "transient remote-fetch failures injected"),
+        _spec(FAULT_STRAGGLERS, "counter", "machines", "docs/faults.md",
+              "machines degraded by a straggler fault"),
+        _spec(RECOVERY_CHECKPOINTS, "counter", "checkpoints",
+              "docs/faults.md",
+              "root-chunk-boundary checkpoints taken by schedulers"),
+        _spec(RECOVERY_REASSIGNED_ROOTS, "counter", "roots",
+              "docs/faults.md",
+              "orphaned root vertices reassigned to surviving machines"),
+        _spec(RECOVERY_REASSIGNED_CHUNKS, "counter", "chunks",
+              "docs/faults.md",
+              "chunks created by survivors while replaying reassigned work"),
+        _spec(RECOVERY_INVALIDATED_ENTRIES, "counter", "edge lists",
+              "docs/faults.md",
+              "cache/HDS entries invalidated after a machine loss"),
         _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
               "simulated seconds charged to computation"),
         _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",

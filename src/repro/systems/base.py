@@ -105,6 +105,7 @@ def merge_reports(
     """Aggregate sequential phases (e.g. FSM rounds) into one report."""
     if not reports:
         return RunReport(system, app, graph_name, counts, 0.0)
+    failures = [r.failure for r in reports if r.failure is not None]
     total_breakdown: dict[str, float] = {}
     for report in reports:
         for key, value in report.breakdown.items():
@@ -136,4 +137,7 @@ def merge_reports(
         peak_memory_bytes=max(r.peak_memory_bytes for r in reports),
         num_machines=reports[0].num_machines,
         extra={"phases": len(reports)},
+        # fatal phases abort the job, so the last failure dominates;
+        # all-RECOVERED phases merge into one RECOVERED summary
+        failure=failures[-1] if failures else None,
     )

@@ -189,15 +189,20 @@ def test_oom_on_tiny_memory():
         graph, ClusterConfig(num_machines=2, memory_bytes=6 << 10)
     )
     engine = KhuzdulEngine(cluster, EngineConfig(chunk_bytes=1024))
-    with pytest.raises(OutOfMemoryError):
-        engine.run(automine_schedule(chain(3)))
+    # the engine converts the raw OutOfMemoryError into a partial
+    # report with a structured failure summary (docs/faults.md)
+    report = engine.run(automine_schedule(chain(3)))
+    assert report.outcome == "OUTOFMEM"
+    assert report.failure is not None and report.failure.partial
+    assert report.failure.machine_id is not None
 
 
-def test_timeout_raised():
+def test_timeout_reported():
     graph = erdos_renyi(60, 240, seed=1)
     engine = _engine(graph, time_budget=1e-12)
-    with pytest.raises(TimeoutError):
-        engine.run(automine_schedule(clique(4)))
+    report = engine.run(automine_schedule(clique(4)))
+    assert report.outcome == "TIMEOUT"
+    assert report.failure is not None and report.failure.partial
 
 
 def test_config_validation():

@@ -2,14 +2,17 @@
 
 import pytest
 
+from repro import errors
 from repro.errors import (
     ConfigurationError,
+    FetchFailedError,
     GraphFormatError,
+    MachineCrashError,
     OutOfMemoryError,
     PatternError,
     ReproError,
     ScheduleError,
-    TimeoutError,
+    SimTimeoutError,
 )
 
 
@@ -19,8 +22,10 @@ def test_all_errors_are_repro_errors():
         PatternError,
         ScheduleError,
         OutOfMemoryError,
-        TimeoutError,
+        SimTimeoutError,
         ConfigurationError,
+        MachineCrashError,
+        FetchFailedError,
     ):
         assert issubclass(exc_type, ReproError)
 
@@ -35,10 +40,30 @@ def test_oom_attributes_and_message():
 
 
 def test_timeout_attributes_and_message():
-    exc = TimeoutError(120.5, 60.0)
+    exc = SimTimeoutError(120.5, 60.0)
     assert exc.simulated_seconds == 120.5
     assert exc.budget_seconds == 60.0
     assert "120.5" in str(exc)
+
+
+def test_timeout_deprecated_alias():
+    # the old name shadowed the builtin; it stays importable as an alias
+    assert errors.TimeoutError is SimTimeoutError
+
+
+def test_machine_crash_attributes():
+    exc = MachineCrashError(2, "chunk=5")
+    assert exc.machine_id == 2
+    assert exc.trigger == "chunk=5"
+    assert "machine 2" in str(exc)
+
+
+def test_fetch_failed_attributes():
+    exc = FetchFailedError(1, 3, attempts=5)
+    assert exc.requester == 1
+    assert exc.owner == 3
+    assert exc.attempts == 5
+    assert "5 attempts" in str(exc)
 
 
 def test_errors_catchable_as_base():

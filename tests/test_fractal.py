@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis import count_embeddings_brute_force
 from repro.baselines import FractalLike, SingleMachine
-from repro.errors import ConfigurationError, TimeoutError
+from repro.errors import ConfigurationError, SimTimeoutError
 from repro.graph import from_edges
 from repro.graph.generators import erdos_renyi, random_labels
 from repro.patterns import Pattern, chain, clique, star
@@ -96,14 +96,14 @@ def test_mni_supports_interface(labeled_graph):
 def test_timeout_on_subgraph_explosion():
     graph = erdos_renyi(80, 900, seed=9)
     system = FractalLike(graph, max_subgraphs=1000)
-    with pytest.raises(TimeoutError):
+    with pytest.raises(SimTimeoutError):
         system.count_pattern(clique(3))
 
 
 def test_time_budget_timeout():
     graph = erdos_renyi(60, 500, seed=9)
     system = FractalLike(graph, time_budget=1e-12)
-    with pytest.raises(TimeoutError):
+    with pytest.raises(SimTimeoutError):
         system.count_pattern(clique(3))
 
 
