@@ -4,10 +4,10 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test suite docs-check faults-check bench
+.PHONY: test suite docs-check faults-check exec-check bench
 
-## tier-1: full suite, then the docs and fault-injection contracts
-test: suite docs-check faults-check
+## tier-1: full suite, then the docs/fault/backend contracts
+test: suite docs-check faults-check exec-check
 
 suite:
 	$(PYTEST) -x -q
@@ -19,6 +19,10 @@ docs-check:
 ## fault-injection & chunk-granular recovery suite (docs/faults.md)
 faults-check:
 	$(PYTEST) -m faults -q
+
+## execution-backend equivalence suite (docs/execution.md)
+exec-check:
+	$(PYTEST) -m exec -q
 
 ## paper-figure benchmark suite (slow)
 bench:

@@ -1,0 +1,99 @@
+"""Wall-clock comparison of the execution backends (docs/execution.md).
+
+Unlike every other benchmark in this directory, the quantity of
+interest here is *real* time, not simulated time: the simulated
+measurements are bit-identical across backends by contract, so the
+only question is what the process backend's actual parallelism and
+IPC cost. Each configuration runs the same job under ``inline`` and
+under ``process`` at several worker counts, asserts the counts match,
+and emits one JSON document (stdout + ``.benchmarks/exec_backends.json``)
+with the measured wall seconds and the process backend's transport
+totals.
+
+Expectations depend on the host: with ≥4 hardware threads the process
+backend should beat inline on at least one of the larger
+configurations; on a single-core runner it pays fork + queue overhead
+for no parallel gain, and the JSON records exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.cluster import ClusterConfig
+from repro.exec import ProcessBackend
+from repro.graph import dataset
+from repro.patterns import catalog
+from repro.systems import KAutomine
+
+from benchmarks.conftest import SCALE, run_once
+
+_WORKER_COUNTS = (2, 4)
+_CONFIGS = (
+    ("mico", 0.5, "clique3"),
+    ("patents", 0.4, "clique3"),
+    ("mico", 0.5, "clique4"),
+)
+_OUT = Path(__file__).parent.parent / ".benchmarks" / "exec_backends.json"
+
+
+def _time_run(graph, graph_name, pattern, backend):
+    system = KAutomine(
+        graph, ClusterConfig(num_machines=8),
+        graph_name=graph_name, backend=backend,
+    )
+    started = perf_counter()
+    report = system.count_pattern(pattern)
+    return perf_counter() - started, report
+
+
+def _compare_backends() -> dict:
+    rows = []
+    for graph_name, scale, pattern_name in _CONFIGS:
+        graph = dataset(graph_name, scale=scale * SCALE)
+        pattern = getattr(catalog, pattern_name[:-1])(int(pattern_name[-1]))
+        inline_wall, inline_report = _time_run(
+            graph, graph_name, pattern, backend=None
+        )
+        row = {
+            "graph": graph_name,
+            "scale": scale * SCALE,
+            "pattern": pattern_name,
+            "count": inline_report.counts,
+            "inline_wall_seconds": inline_wall,
+            "process": {},
+        }
+        for workers in _WORKER_COUNTS:
+            wall, report = _time_run(
+                graph, graph_name, pattern,
+                backend=ProcessBackend(workers=workers),
+            )
+            assert report.counts == inline_report.counts, (
+                f"backend divergence on {graph_name}/{pattern_name}: "
+                f"{report.counts} != {inline_report.counts}"
+            )
+            exec_extra = report.extra["exec"]
+            row["process"][str(workers)] = {
+                "wall_seconds": wall,
+                "backend_wall_seconds": exec_extra["wall_seconds"],
+                "speedup_over_inline": inline_wall / wall if wall else 0.0,
+                "messages": exec_extra["messages"],
+                "bytes_shipped": exec_extra["bytes_shipped"],
+            }
+        rows.append(row)
+    return {"cpu_count": os.cpu_count(), "rows": rows}
+
+
+def test_exec_backend_wall_clock(benchmark):
+    result = run_once(benchmark, _compare_backends)
+    document = json.dumps(result, indent=2)
+    print()
+    print(document)
+    _OUT.parent.mkdir(exist_ok=True)
+    _OUT.write_text(document + "\n")
+    assert result["rows"]
+    for row in result["rows"]:
+        assert row["process"], "no process-backend measurements recorded"

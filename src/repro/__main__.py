@@ -26,6 +26,7 @@ from repro.cluster import ClusterConfig
 from repro.core import EngineConfig
 from repro.errors import ConfigurationError
 from repro.faults import FaultPlan
+from repro.exec import BACKENDS, make_backend
 from repro.graph import dataset
 from repro.graph.datasets import DATASETS
 from repro.obs import Observability
@@ -90,9 +91,13 @@ def _build_system(args):
         **cluster_kwargs,
     )
     obs = Observability() if args.metrics != "off" else None
+    try:
+        backend = make_backend(args.backend, getattr(args, "workers", None))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
     cls = KGraphPi if args.system == "k-graphpi" else KAutomine
     return cls(graph, config, _build_engine_config(args),
-               graph_name=args.graph, obs=obs)
+               graph_name=args.graph, obs=obs, backend=backend)
 
 
 def _finish(args, report) -> int:
@@ -103,10 +108,14 @@ def _finish(args, report) -> int:
     the exception into a structured partial report (docs/faults.md).
     """
     failure = report.failure
+    if args.metrics != "json":
+        if failure is None:
+            print(f"outcome: OK backend={args.backend}")
+        else:
+            print(f"outcome: {failure.outcome.value} "
+                  f"backend={args.backend} — {failure.message}")
     if failure is None:
         return 0
-    if args.metrics != "json":
-        print(f"outcome: {failure.outcome.value} — {failure.message}")
     return 1 if failure.fatal else 0
 
 
@@ -132,6 +141,18 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: the 64 MiB testbed analogue)")
     parser.add_argument("--system", default="k-automine",
                         choices=["k-automine", "k-graphpi"])
+    parser.add_argument(
+        "--backend", default="inline", choices=list(BACKENDS),
+        help="execution backend: 'inline' is the single-process "
+             "simulated path, 'process' runs one OS process per group "
+             "of simulated machines over a shared-memory graph; counts "
+             "are bit-identical either way (docs/execution.md)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-backend worker count (default: one per simulated "
+             "machine, capped at the machine count)",
+    )
     parser.add_argument(
         "--metrics", default="off", choices=["off", "table", "json"],
         help="emit the run's observability surface: 'table' appends a "

@@ -111,10 +111,18 @@ class KhuzdulEngine:
         cluster: Cluster,
         config: Optional[EngineConfig] = None,
         obs: Optional[Observability] = None,
+        backend=None,
     ):
         self.cluster = cluster
         self.config = config or EngineConfig()
         self.obs = obs if obs is not None else NULL_OBS
+        #: execution backend (``repro.exec``); ``None`` runs the
+        #: in-process simulated path directly. Duck-typed on purpose:
+        #: this module must not import ``repro.exec`` (which imports
+        #: the engine), so any object with
+        #: ``execute(engine, schedules, udf, system, app, graph_name)``
+        #: works — see :class:`repro.exec.Backend`.
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def run(
@@ -161,6 +169,32 @@ class KhuzdulEngine:
         app: str,
         graph_name: str,
     ) -> tuple[list[int], RunReport]:
+        if self.backend is not None:
+            return self.backend.execute(
+                self, schedules, udf, system, app, graph_name
+            )
+        return self._execute_inline(schedules, udf, system, app, graph_name)
+
+    def _execute_inline(
+        self,
+        schedules: list[Schedule],
+        udf: Optional[MultiUdf],
+        system: str,
+        app: str,
+        graph_name: str,
+        hosted: Optional[set] = None,
+        transport=None,
+    ) -> tuple[list[int], RunReport]:
+        """The simulated single-process execution path.
+
+        ``hosted``/``transport`` are the worker-process hooks of the
+        ``process`` backend (docs/execution.md): with ``hosted`` set,
+        only that subset of machine ids runs schedulers (the rest are
+        replicas other workers drive), and ``transport`` routes each
+        circulant batch's edge lists over real inter-process queues.
+        Neither changes any simulated quantity, which is what keeps
+        backend counts bit-identical.
+        """
         cluster = self.cluster
         config = self.config
         graph = cluster.graph
@@ -266,6 +300,7 @@ class KhuzdulEngine:
                     _Shard(machine.machine_id,
                            self._roots_for(machine.machine_id, schedule))
                     for machine in cluster.machines
+                    if hosted is None or machine.machine_id in hosted
                 )
                 while shards:
                     shard = shards.popleft()
@@ -323,6 +358,7 @@ class KhuzdulEngine:
                         time_budget=config.time_budget,
                         obs=obs,
                         faults=injector,
+                        transport=transport,
                     )
                     try:
                         shard_matches = scheduler.run(shard.roots)
@@ -516,6 +552,16 @@ class KhuzdulEngine:
                 ),
             }
             report.extra["recovery"] = dict(recovery_stats)
+        if hosted is not None:
+            # raw cross-worker material the process backend needs to
+            # reconstruct cluster-global fields; never present on
+            # user-facing reports (the backend strips it after merging)
+            report.extra["_worker"] = {
+                "traffic_bytes": cluster.network.traffic_bytes.copy(),
+                "num_batches": cluster.network.num_batches,
+                "cache_hits": total_hits,
+                "cache_queries": total_queries,
+            }
         if obs.enabled:
             summary = obs.summary()
             summary["network"] = {

@@ -108,6 +108,7 @@ class MachineScheduler:
         time_budget: Optional[float] = None,
         obs: Optional[Observability] = None,
         faults: Optional[FaultInjector] = None,
+        transport=None,
     ):
         self.cluster = cluster
         self.machine = machine
@@ -123,6 +124,13 @@ class MachineScheduler:
         self.time_budget = time_budget
         self.cost = cluster.cost
         self.faults = faults
+        #: real inter-process fetch channel of the ``process`` backend
+        #: (repro.exec). None in simulated-only runs; when set, each
+        #: circulant batch's edge lists additionally travel over worker
+        #: queues, with batch i+1 posted before batch i is awaited so
+        #: communication genuinely overlaps computation. The simulated
+        #: accounting below is unchanged either way.
+        self.transport = transport
         #: straggler degradation: >1 stretches compute and link time
         self._slow_factor = (
             faults.slowdown(machine.machine_id) if faults is not None else 1.0
@@ -433,11 +441,27 @@ class MachineScheduler:
         state.batch_sizes[0] = local_count
 
         # circulant order: owner machines starting from me+1
+        ordered: list[tuple[int, list[ExtendableEmbedding]]] = []
         for offset in range(1, num_machines):
             owner = (me + offset) % num_machines
             batch = groups.get(owner)
-            if not batch:
-                continue
+            if batch:
+                ordered.append((owner, batch))
+        transport = self.transport
+        if transport is not None and ordered:
+            # prime the pipeline: batch 0's request is in flight before
+            # any batch is awaited (then batch i+1 is posted before
+            # batch i is collected, below)
+            transport.post(me, ordered[0][0],
+                           [emb.vertex for emb in ordered[0][1]])
+        for position, (owner, batch) in enumerate(ordered):
+            if transport is not None:
+                if position + 1 < len(ordered):
+                    next_owner, next_batch = ordered[position + 1]
+                    transport.post(me, next_owner,
+                                   [emb.vertex for emb in next_batch])
+                transport.collect(me, owner,
+                                  [emb.vertex for emb in batch])
             payload = 0
             server = self.cluster.machine(owner)
             for emb in batch:

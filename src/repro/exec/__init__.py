@@ -1,0 +1,50 @@
+"""repro.exec — pluggable execution backends for the engine.
+
+The engine's simulated semantics stay identical across backends; a
+backend only chooses *where* the per-machine schedulers run:
+
+- ``inline`` (default): the historical single-process simulated path.
+- ``process``: one OS process per group of simulated machines, the
+  graph shared zero-copy through ``multiprocessing.shared_memory``,
+  inter-machine fetches travelling as real batched messages in
+  circulant order.
+
+See docs/execution.md for the interface, wire protocol, and the
+determinism contract (bit-identical counts across backends).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.exec.backend import Backend, InlineBackend
+from repro.exec.process import ProcessBackend
+
+#: backend names accepted by ``make_backend`` and the CLI ``--backend``
+BACKENDS = ("inline", "process")
+
+
+def make_backend(name: str, workers: Optional[int] = None):
+    """Build the backend for a CLI/config name.
+
+    Returns ``None`` for ``inline`` — attaching no backend at all *is*
+    the inline path, and keeping it literally the same code object as
+    before is the cheapest possible determinism argument.
+    """
+    if name == "inline":
+        return None
+    if name == "process":
+        return ProcessBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown execution backend {name!r}; expected one of {BACKENDS}"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "InlineBackend",
+    "ProcessBackend",
+    "make_backend",
+]

@@ -1,0 +1,60 @@
+"""The pluggable execution-backend interface.
+
+A backend decides *where* a job's per-machine schedulers run; it never
+decides *what* they compute. ``KhuzdulEngine._execute`` dispatches to
+``engine.backend.execute(...)`` when a backend is attached and falls
+back to the in-process simulated path otherwise, so the engine itself
+never imports this package (``repro.exec`` sits above ``repro.core``
+in the layer map — see docs/architecture.md).
+
+The hard contract every backend must honour (docs/execution.md): for
+any (graph, schedules, configuration), the returned pattern counts are
+bit-identical to the inline path's, at any worker count.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.runtime import RunReport
+
+
+class Backend(abc.ABC):
+    """Executes one engine job and returns ``(counts, report)``."""
+
+    #: backend name as shown by ``--backend`` and the outcome line
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        engine,
+        schedules,
+        udf,
+        system: str,
+        app: str,
+        graph_name: str,
+    ) -> tuple[list[int], RunReport]:
+        """Run ``schedules`` on ``engine``'s cluster.
+
+        ``engine`` is the calling :class:`~repro.core.engine.KhuzdulEngine`;
+        backends read its cluster, config, and observability bundle from
+        it rather than holding state of their own, so one backend object
+        can serve many engines.
+        """
+
+
+class InlineBackend(Backend):
+    """The default: the single-process simulated path, unchanged.
+
+    Attaching ``InlineBackend()`` is byte-identical to attaching no
+    backend at all (``backend=None``) — it exists so code can treat
+    "which backend" uniformly as an object.
+    """
+
+    name = "inline"
+
+    def execute(self, engine, schedules, udf, system, app, graph_name):
+        return engine._execute_inline(
+            schedules, udf, system, app, graph_name
+        )

@@ -1,0 +1,51 @@
+"""Wire types of the process backend's fetch protocol.
+
+One message class per direction: a :class:`FetchRequest` travels to
+the inbox of the worker hosting the serving machine, and the matching
+:class:`FetchReply` comes back on the (server worker, requester
+worker) reply queue carrying the *actual* edge lists, concatenated.
+Both are plain picklable dataclasses; payloads are numpy arrays so
+``multiprocessing``'s pickling moves them in one buffer.
+
+Ordering contract (what makes one reply queue per worker pair enough):
+a worker runs one scheduler at a time, so its requests to any given
+server worker are posted in the order it will await them, the inbox is
+FIFO, and the responder serves it single-threaded — replies therefore
+arrive on the pair queue in exactly the awaited order. The transport
+still validates every reply against the awaited (server, requester,
+lengths) triple and fails loudly on a protocol violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Inbox sentinel: the parent posts one per worker once every worker's
+#: results are in; the responder thread exits on receipt.
+SHUTDOWN = "__exec_shutdown__"
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """One circulant batch's edge-list demand, addressed to the worker
+    hosting ``server_machine``."""
+
+    requester_machine: int
+    requester_worker: int
+    server_machine: int
+    #: vertex ids whose edge lists are requested, in batch order
+    vertices: np.ndarray
+
+
+@dataclass(frozen=True)
+class FetchReply:
+    """The served batch: all requested edge lists, concatenated."""
+
+    server_machine: int
+    requester_machine: int
+    #: requested adjacency lists back to back (graph index dtype)
+    payload: np.ndarray
+    #: per-vertex degrees, aligned with the request's ``vertices``
+    lengths: np.ndarray

@@ -1,0 +1,371 @@
+"""The process backend: one OS process per group of simulated machines.
+
+Execution plan (docs/execution.md):
+
+1. Export the graph's CSR arrays into shared memory once
+   (:mod:`repro.graph.csr`) — workers map them zero-copy.
+2. Build the queue fabric (per-worker request inboxes, per-worker-pair
+   reply queues) and spawn ``workers`` processes, each running
+   :func:`repro.exec.worker.worker_main`: the unmodified inline
+   scheduler loop over the machines it hosts (``m % workers``), with
+   inter-machine edge-list batches travelling as real messages in
+   circulant order, one batch in flight while the previous computes.
+3. Collect per-worker results, broadcast the shutdown sentinel (a
+   worker's responder must outlive its own compute — other workers may
+   still fetch from it), then collect responder stats and join.
+4. Merge: counts sum; worker partial reports fold through
+   ``merge_reports(parallel=True)``; cluster-global fields that need
+   cross-worker data (machine finish times, traffic matrix, cache hit
+   rate, utilization) are reconstructed here; worker metric/span dumps
+   are absorbed into the parent observability bundle; wall-clock
+   ``exec.*`` metrics are emitted on top.
+
+Determinism: a machine's scheduler sees the same graph, roots, and
+configuration regardless of which process hosts it, and the transport
+never alters simulated accounting — so counts are bit-identical to the
+inline backend at any worker count (the invariant
+``tests/test_exec.py`` pins down). Wall-clock ``exec.*`` readings are
+the only nondeterministic outputs.
+
+Not supported here (raise :class:`~repro.errors.ConfigurationError`
+up front): fault plans (injected crash recovery reassigns roots across
+workers, which this backend does not replicate) and non-mergeable
+UDFs (a per-worker UDF copy must be foldable via ``udf.merge(other)``,
+like :class:`~repro.systems.base.MniDomainCollector`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_mod
+from time import perf_counter
+from typing import Optional
+
+from repro.core.runtime import RunReport
+from repro.errors import ConfigurationError
+from repro.exec.backend import Backend
+from repro.exec.messages import SHUTDOWN
+from repro.exec.transport import Endpoints
+from repro.exec.worker import worker_main
+from repro.graph.csr import share_csr
+from repro.obs import names
+from repro.systems.base import merge_reports
+
+_HDS_KEYS = ("hits", "probes", "drops")
+_FETCH_KEYS = ("local", "remote", "cache", "shared")
+_CLOCK_KEYS = ("compute", "scheduler", "cache", "network")
+
+
+class ProcessBackend(Backend):
+    """Real multiprocess execution over shared-memory graph storage."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        timeout: float = 600.0,
+    ):
+        #: worker-process count; None = one per simulated machine,
+        #: always clamped to the machine count (a machine's scheduler
+        #: is single-threaded state, it cannot be split further)
+        self.workers = workers
+        #: multiprocessing start method; None prefers ``fork`` (cheap,
+        #: Linux) and falls back to ``spawn`` — worker args are kept
+        #: picklable so both work
+        self.start_method = start_method
+        #: wall-clock budget for collecting worker messages before the
+        #: run is declared wedged and the fleet is torn down
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def execute(self, engine, schedules, udf, system, app, graph_name):
+        config = engine.config
+        cluster = engine.cluster
+        if config.faults is not None and not config.faults.empty:
+            raise ConfigurationError(
+                "fault injection requires the inline backend: the "
+                "process backend does not replicate cross-worker crash "
+                "recovery (docs/execution.md)"
+            )
+        self._validate_udf(udf)
+        machines = cluster.num_machines
+        workers = self.workers if self.workers else machines
+        workers = max(1, min(workers, machines))
+        obs = engine.obs
+        obs.reset()
+        cluster.reset_clocks()  # the parent cluster sits idle; keep it clean
+
+        context = self._context()
+        started = perf_counter()
+        shared = share_csr(cluster.graph)
+        processes = []
+        try:
+            result_queue = context.Queue()
+            endpoints = Endpoints(
+                num_workers=workers,
+                inboxes=[context.Queue() for _ in range(workers)],
+                replies={
+                    (server, requester): context.Queue()
+                    for server in range(workers)
+                    for requester in range(workers)
+                },
+            )
+            job = (system, app, graph_name)
+            for worker_id in range(workers):
+                processes.append(context.Process(
+                    target=worker_main,
+                    args=(worker_id, workers, shared.handle, cluster.config,
+                          config, list(schedules), udf, job, obs.enabled,
+                          endpoints, result_queue),
+                    name=f"repro-exec-{worker_id}",
+                    daemon=True,
+                ))
+            for process in processes:
+                process.start()
+            results = self._collect(result_queue, processes, workers,
+                                    "result")
+            for inbox in endpoints.inboxes:
+                inbox.put(SHUTDOWN)
+            stats = self._collect(result_queue, processes, workers, "stats")
+            for process in processes:
+                process.join(timeout=30.0)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=10.0)
+            shared.unlink()
+        wall = perf_counter() - started
+        return self._merge(engine, udf, system, app, graph_name,
+                           len(schedules), workers, results, stats, wall)
+
+    # ------------------------------------------------------------------
+    def _validate_udf(self, udf) -> None:
+        if udf is None:
+            return
+        if not callable(getattr(udf, "merge", None)):
+            raise ConfigurationError(
+                "the process backend needs a mergeable UDF: each worker "
+                "gets its own copy, so the object must expose "
+                "merge(other) to fold them back (plain callables/"
+                "closures run on the inline backend only)"
+            )
+        try:
+            pickle.dumps(udf)
+        except Exception as exc:
+            raise ConfigurationError(
+                f"UDF cannot be pickled into worker processes: {exc}"
+            ) from exc
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    def _collect(self, result_queue, processes, expected, tag) -> dict:
+        """Gather one tagged message per worker, watching for deaths."""
+        collected: dict[int, dict] = {}
+        deadline = perf_counter() + self.timeout
+        while len(collected) < expected:
+            remaining = deadline - perf_counter()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"process backend timed out after {self.timeout:.0f}s "
+                    f"awaiting {tag!r} messages "
+                    f"({len(collected)}/{expected} received)"
+                )
+            try:
+                message = result_queue.get(timeout=min(1.0, remaining))
+            except queue_mod.Empty:
+                dead = [
+                    process.name for process in processes
+                    if process.exitcode not in (None, 0)
+                ]
+                if dead:
+                    raise RuntimeError(
+                        f"worker process(es) died without reporting: {dead}"
+                    ) from None
+                continue
+            kind, worker_id, payload = message
+            if kind == "error":
+                raise RuntimeError(f"worker {worker_id} failed:\n{payload}")
+            if kind != tag:
+                raise RuntimeError(
+                    f"protocol violation: got {kind!r} while awaiting {tag!r}"
+                )
+            collected[worker_id] = payload
+        return collected
+
+    # ------------------------------------------------------------------
+    def _merge(self, engine, udf, system, app, graph_name, num_schedules,
+               workers, results, stats, wall) -> tuple[list[int], RunReport]:
+        ordered = [results[worker_id] for worker_id in range(workers)]
+        reports = [entry["report"] for entry in ordered]
+        counts = [
+            sum(entry["counts"][index] for entry in ordered)
+            for index in range(num_schedules)
+        ]
+        merged = merge_reports(reports, system, app, graph_name,
+                               parallel=True)
+        machines = engine.cluster.num_machines
+        cost = engine.cluster.cost
+
+        # machine finish times need cross-worker data: machine j's clock
+        # buckets come from its host worker, but its responder serve
+        # seconds accumulate in *every* worker that fetched from it —
+        # the zip-summed breakdowns hold both, so busy = max(clock, serve)
+        breakdowns = merged.machine_breakdowns
+        machine_seconds = [
+            max(
+                sum(buckets.get(key, 0.0) for key in _CLOCK_KEYS),
+                buckets.get("serve", 0.0),
+            )
+            for buckets in breakdowns
+        ]
+        runtime = max(machine_seconds) if machine_seconds else 0.0
+        slowest = (
+            max(range(len(machine_seconds)),
+                key=machine_seconds.__getitem__)
+            if machine_seconds else 0
+        )
+
+        workers_extra = [entry["report"].extra["_worker"]
+                         for entry in ordered]
+        traffic = sum(extra["traffic_bytes"] for extra in workers_extra)
+        cache_hits = sum(extra["cache_hits"] for extra in workers_extra)
+        cache_queries = sum(extra["cache_queries"]
+                            for extra in workers_extra)
+        num_batches = sum(extra["num_batches"] for extra in workers_extra)
+
+        if udf is not None:
+            for entry in ordered:
+                if entry["udf"] is not None:
+                    udf.merge(entry["udf"])
+
+        failures = [report.failure for report in reports
+                    if report.failure is not None]
+        failure = min(
+            failures,
+            key=lambda f: f.machine_id if f.machine_id is not None else -1,
+        ) if failures else None
+
+        busiest_out = float(traffic.sum(axis=1).max()) if machines else 0.0
+        merged.counts = None
+        merged.simulated_seconds = runtime
+        merged.network_bytes = int(traffic.sum())
+        merged.breakdown = {
+            key: breakdowns[slowest].get(key, 0.0) for key in _CLOCK_KEYS
+        } if breakdowns else {}
+        merged.machine_seconds = machine_seconds
+        merged.cache_hit_rate = (
+            cache_hits / cache_queries if cache_queries else 0.0
+        )
+        merged.cache_entries = sum(r.cache_entries for r in reports)
+        merged.network_utilization = (
+            busiest_out / (cost.network_bandwidth * runtime)
+            if runtime > 0.0 else 0.0
+        )
+        merged.peak_memory_bytes = max(r.peak_memory_bytes for r in reports)
+        merged.num_machines = machines
+        merged.failure = failure
+        merged.extra = {
+            "hds": {
+                key: sum(r.extra["hds"][key] for r in reports)
+                for key in _HDS_KEYS
+            },
+            "fetch_sources": {
+                key: sum(r.extra["fetch_sources"][key] for r in reports)
+                for key in _FETCH_KEYS
+            },
+            "chunks": sum(r.extra["chunks"] for r in reports),
+            "requests": sum(r.extra["requests"] for r in reports),
+            "serve_seconds": (
+                max(buckets.get("serve", 0.0) for buckets in breakdowns)
+                if breakdowns else 0.0
+            ),
+        }
+
+        busy = [entry["busy_seconds"] for entry in ordered]
+        wait = [entry["requester"]["wait_seconds"] for entry in ordered]
+        messages = sum(entry["requester"]["messages"] for entry in ordered)
+        shipped = sum(stats[worker_id]["served_bytes"]
+                      for worker_id in range(workers))
+        depth = self._merge_depth(
+            [stats[worker_id]["queue_depth"]
+             for worker_id in range(workers)]
+        )
+        merged.extra["exec"] = {
+            "backend": self.name,
+            "workers": workers,
+            "wall_seconds": wall,
+            "worker_busy_seconds": busy,
+            "worker_wait_seconds": wait,
+            "messages": messages,
+            "bytes_shipped": shipped,
+            "queue_depth": {
+                "count": depth[0], "total": depth[1],
+                "min": depth[2], "max": depth[3],
+            },
+        }
+
+        obs = engine.obs
+        if obs.enabled:
+            for entry in ordered:  # worker-id order keeps spans stable
+                dump = entry["obs"]
+                if dump is not None:
+                    obs.registry.absorb(dump["metrics"])
+                    obs.tracer.absorb(dump["spans"], dump["dropped"])
+            self._emit_exec_metrics(obs, workers, wall, busy, wait,
+                                    messages, shipped, depth)
+            summary = obs.summary()
+            summary["network"] = {
+                "per_machine_sent_bytes": [
+                    int(traffic[machine].sum())
+                    for machine in range(machines)
+                ],
+                "per_machine_utilization": [
+                    (float(traffic[machine].sum())
+                     / (cost.network_bandwidth * runtime))
+                    if runtime > 0.0 else 0.0
+                    for machine in range(machines)
+                ],
+                "num_batches": num_batches,
+            }
+            merged.extra["obs"] = summary
+        return counts, merged
+
+    @staticmethod
+    def _merge_depth(summaries) -> tuple[int, float, float, float]:
+        count = sum(s[0] for s in summaries)
+        if not count:
+            return (0, 0.0, 0.0, 0.0)
+        present = [s for s in summaries if s[0]]
+        return (
+            count,
+            sum(s[1] for s in present),
+            min(s[2] for s in present),
+            max(s[3] for s in present),
+        )
+
+    def _emit_exec_metrics(self, obs, workers, wall, busy, wait,
+                           messages, shipped, depth) -> None:
+        scope = obs.registry.scope()
+        scope.gauge(names.EXEC_WORKERS).set(workers)
+        scope.gauge(names.EXEC_WALL_SECONDS).set(wall)
+        for worker_id, (busy_s, wait_s) in enumerate(zip(busy, wait)):
+            scope.counter(
+                names.EXEC_WORKER_BUSY_SECONDS, worker=worker_id
+            ).inc(busy_s)
+            scope.counter(
+                names.EXEC_WORKER_WAIT_SECONDS, worker=worker_id
+            ).inc(wait_s)
+        scope.counter(names.EXEC_MESSAGES).inc(messages)
+        scope.counter(names.EXEC_BYTES_SHIPPED).inc(shipped)
+        if depth[0]:
+            scope.histogram(names.EXEC_QUEUE_DEPTH).merge_summary(*depth)

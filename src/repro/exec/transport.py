@@ -1,0 +1,211 @@
+"""Inter-worker fetch transport of the process backend.
+
+Topology: one request inbox per worker (many producers, one consumer —
+the worker's responder thread), plus one reply queue per ordered
+worker pair. The responder serves every request from the
+shared-memory graph (zero-copy reads) while the worker's main thread
+runs the chunk scheduler, so serving remote fetches genuinely
+overlaps local computation — the role of Khuzdul's dedicated
+communication threads.
+
+The scheduler drives the requester side through two calls per
+circulant batch: :meth:`WorkerTransport.post` (fire the request) and
+:meth:`WorkerTransport.collect` (block for the reply and validate
+it). The scheduler posts batch *i+1* before collecting batch *i*, so
+one batch is always in flight — the paper's compute/communication
+pipelining, on real queues.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.messages import SHUTDOWN, FetchReply, FetchRequest
+from repro.graph.graph import Graph
+
+#: how long one reply may take before the worker assumes the fleet is
+#: wedged and aborts (generous: covers heavily loaded CI machines)
+REPLY_TIMEOUT_SECONDS = 300.0
+
+
+@dataclass
+class Endpoints:
+    """The queue fabric the parent builds and every worker shares.
+
+    ``inboxes[w]`` receives :class:`FetchRequest`s (and the shutdown
+    sentinel) for worker ``w``; ``replies[(sw, rw)]`` carries
+    :class:`FetchReply`s from server worker ``sw`` to requester worker
+    ``rw``. Machine ``m`` is hosted by worker ``m % num_workers``.
+    """
+
+    num_workers: int
+    inboxes: list
+    replies: dict
+
+    def worker_of(self, machine: int) -> int:
+        return machine % self.num_workers
+
+
+class WorkerTransport:
+    """One worker's view of the fetch fabric (requester + responder)."""
+
+    def __init__(self, worker_id: int, endpoints: Endpoints, graph: Graph):
+        self.worker_id = worker_id
+        self.endpoints = endpoints
+        self.graph = graph
+        # requester-side accounting (main thread only)
+        self.wait_seconds = 0.0
+        self.requests_posted = 0
+        self.replies_received = 0
+        self.bytes_received = 0
+        # responder-side accounting (responder thread only)
+        self.served_requests = 0
+        self.served_bytes = 0
+        self._depth_count = 0
+        self._depth_total = 0
+        self._depth_min = float("inf")
+        self._depth_max = float("-inf")
+        self._thread: threading.Thread | None = None
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # responder side
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start serving this worker's inbox on a daemon thread."""
+        self._thread = threading.Thread(
+            target=self._serve, name=f"exec-responder-{self.worker_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _serve(self) -> None:
+        inbox = self.endpoints.inboxes[self.worker_id]
+        replies = self.endpoints.replies
+        try:
+            while True:
+                message = inbox.get()
+                if message == SHUTDOWN:
+                    break
+                self._observe_depth(inbox)
+                payload, lengths = self._build_payload(message.vertices)
+                self.served_requests += 1
+                self.served_bytes += payload.nbytes
+                replies[(self.worker_id, message.requester_worker)].put(
+                    FetchReply(message.server_machine,
+                               message.requester_machine, payload, lengths)
+                )
+        finally:
+            self._stopped.set()
+
+    def _observe_depth(self, inbox) -> None:
+        try:
+            depth = inbox.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS
+            return
+        self._depth_count += 1
+        self._depth_total += depth
+        if depth < self._depth_min:
+            self._depth_min = depth
+        if depth > self._depth_max:
+            self._depth_max = depth
+
+    def _build_payload(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate the requested edge lists from the shared graph."""
+        graph = self.graph
+        lists = [graph.neighbors(int(v)) for v in vertices]
+        lengths = np.fromiter(
+            (len(lst) for lst in lists), dtype=np.int64, count=len(lists)
+        )
+        if lists:
+            payload = np.concatenate(lists)
+        else:
+            payload = np.empty(0, dtype=graph.indices.dtype)
+        return payload, lengths
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the responder to see the shutdown sentinel."""
+        stopped = self._stopped.wait(timeout)
+        if stopped and self._thread is not None:
+            self._thread.join(timeout)
+        return stopped
+
+    # ------------------------------------------------------------------
+    # requester side (called by MachineScheduler)
+    # ------------------------------------------------------------------
+    def post(self, requester_machine: int, server_machine: int,
+             vertices: Sequence[int]) -> None:
+        """Fire one circulant batch's fetch request (non-blocking)."""
+        server_worker = self.endpoints.worker_of(server_machine)
+        self.endpoints.inboxes[server_worker].put(FetchRequest(
+            requester_machine, self.worker_id, server_machine,
+            np.asarray(vertices, dtype=np.int64),
+        ))
+        self.requests_posted += 1
+
+    def collect(self, requester_machine: int, server_machine: int,
+                vertices: Sequence[int]) -> np.ndarray:
+        """Block for a posted batch's reply; validate and return it."""
+        server_worker = self.endpoints.worker_of(server_machine)
+        channel = self.endpoints.replies[(server_worker, self.worker_id)]
+        started = perf_counter()
+        try:
+            reply = channel.get(timeout=REPLY_TIMEOUT_SECONDS)
+        except queue_mod.Empty:
+            raise RuntimeError(
+                f"worker {self.worker_id}: no reply from machine "
+                f"{server_machine} (worker {server_worker}) within "
+                f"{REPLY_TIMEOUT_SECONDS:.0f}s"
+            ) from None
+        self.wait_seconds += perf_counter() - started
+        if (reply.server_machine != server_machine
+                or reply.requester_machine != requester_machine):
+            raise RuntimeError(
+                f"fetch protocol violation: awaited reply "
+                f"({server_machine}->{requester_machine}), got "
+                f"({reply.server_machine}->{reply.requester_machine})"
+            )
+        expected = sum(self.graph.degree(int(v)) for v in vertices)
+        if int(reply.lengths.sum()) != len(reply.payload) \
+                or len(reply.payload) != expected:
+            raise RuntimeError(
+                f"fetch payload mismatch from machine {server_machine}: "
+                f"expected {expected} vertices, got {len(reply.payload)}"
+            )
+        self.replies_received += 1
+        self.bytes_received += reply.payload.nbytes
+        return reply.payload
+
+    # ------------------------------------------------------------------
+    # stats shipped to the parent (feed the exec.* metrics)
+    # ------------------------------------------------------------------
+    def requester_stats(self) -> dict:
+        """Main-thread stats: complete once the compute loop returns."""
+        return {
+            "wait_seconds": self.wait_seconds,
+            "messages": self.requests_posted + self.replies_received,
+            "bytes_received": self.bytes_received,
+        }
+
+    def responder_stats(self) -> dict:
+        """Responder stats: complete only after shutdown (the responder
+        may serve other workers long after this worker's compute ends)."""
+        depth = (
+            (self._depth_count, float(self._depth_total),
+             float(self._depth_min), float(self._depth_max))
+            if self._depth_count
+            else (0, 0.0, 0.0, 0.0)
+        )
+        return {
+            "served_requests": self.served_requests,
+            "served_bytes": self.served_bytes,
+            "queue_depth": depth,
+        }

@@ -1,0 +1,97 @@
+"""Worker-process entry point of the process backend.
+
+Each worker attaches the shared-memory graph, rebuilds its own
+deterministic view of the cluster (hash partitioning is pure, so every
+worker computes identical partitions), and runs the *unmodified*
+inline execution path — restricted to the machines it hosts (machine
+``m`` lives on worker ``m % num_workers``) and with the queue
+transport plugged into the scheduler's circulant loop. Reusing
+``KhuzdulEngine._execute_inline`` wholesale is the determinism
+argument in code form: there is no second scheduler implementation
+that could drift from the simulated one.
+
+Result protocol on the shared result queue (tag, worker_id, payload):
+
+- ``("result", w, {...})`` — counts, partial report, udf copy,
+  observability dump, requester-side transport stats. Posted when the
+  worker's compute loop finishes.
+- ``("stats", w, {...})`` — responder-side transport stats. Posted
+  after the shutdown sentinel, because the responder keeps serving
+  other workers until every worker is done.
+- ``("error", w, traceback_text)`` — any unexpected failure. Expected
+  engine outcomes (OOM / simulated timeout) are *not* errors: the
+  inline path already converts them into a structured
+  ``FailureSummary`` on the partial report.
+"""
+
+from __future__ import annotations
+
+import traceback
+from time import perf_counter
+
+from repro.cluster.cluster import Cluster
+from repro.core.engine import KhuzdulEngine
+from repro.exec.transport import WorkerTransport
+from repro.graph.csr import attach_csr
+from repro.obs import Observability
+
+
+def worker_main(
+    worker_id: int,
+    num_workers: int,
+    handle,
+    cluster_config,
+    engine_config,
+    schedules,
+    udf,
+    job: tuple[str, str, str],
+    obs_enabled: bool,
+    endpoints,
+    result_queue,
+) -> None:
+    system, app, graph_name = job
+    transport = None
+    try:
+        shared = attach_csr(handle)
+    except BaseException:
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+        return
+    try:
+        cluster = Cluster(shared.graph, cluster_config)
+        obs = Observability() if obs_enabled else None
+        engine = KhuzdulEngine(cluster, engine_config, obs=obs)
+        transport = WorkerTransport(worker_id, endpoints, shared.graph)
+        transport.start()
+        hosted = {
+            machine for machine in range(cluster.num_machines)
+            if machine % num_workers == worker_id
+        }
+        started = perf_counter()
+        counts, report = engine._execute_inline(
+            schedules, udf, system, app, graph_name,
+            hosted=hosted, transport=transport,
+        )
+        elapsed = perf_counter() - started
+        payload = {
+            "counts": counts,
+            "report": report,
+            "udf": udf,
+            "busy_seconds": max(0.0, elapsed - transport.wait_seconds),
+            "requester": transport.requester_stats(),
+            "obs": None,
+        }
+        if obs is not None:
+            payload["obs"] = {
+                "metrics": obs.registry.dump(),
+                "spans": obs.tracer.spans,
+                "dropped": obs.tracer.dropped,
+            }
+        result_queue.put(("result", worker_id, payload))
+        # keep serving other workers until the parent says everyone is
+        # done; only then are the responder-side stats complete
+        transport.join()
+        result_queue.put(("stats", worker_id, transport.responder_stats()))
+    except BaseException:
+        result_queue.put(("error", worker_id, traceback.format_exc()))
+    finally:
+        shared.close()

@@ -90,6 +90,24 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_summary(
+        self, count: int, total: float, mn: float, mx: float
+    ) -> None:
+        """Fold another histogram's summary statistics into this one.
+
+        Exact for count/total/min/max, which is all this histogram
+        stores — used when merging worker-process registries
+        (:meth:`MetricsRegistry.absorb`).
+        """
+        if not count:
+            return
+        self.count += count
+        self.total += total
+        if mn < self.min:
+            self.min = mn
+        if mx > self.max:
+            self.max = mx
+
     def summary(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
@@ -121,6 +139,9 @@ class _NullHistogram(Histogram):
     __slots__ = ()
 
     def observe(self, value: int | float) -> None:  # pragma: no cover
+        pass
+
+    def merge_summary(self, count, total, mn, mx) -> None:  # pragma: no cover
         pass
 
 
@@ -260,6 +281,43 @@ class MetricsRegistry:
                 for name in sorted({n for n, _ in self._histograms})
             },
         }
+
+    # -- cross-process merging (repro.exec) ----------------------------
+    def dump(self) -> dict[str, list]:
+        """Picklable snapshot of every series, for worker → parent
+        shipping. The inverse is :meth:`absorb`."""
+        return {
+            "counters": [
+                (name, labels, counter.value)
+                for (name, labels), counter in self._counters.items()
+            ],
+            "gauges": [
+                (name, labels, gauge.value)
+                for (name, labels), gauge in self._gauges.items()
+            ],
+            "histograms": [
+                (name, labels,
+                 (hist.count, hist.total, hist.min, hist.max))
+                for (name, labels), hist in self._histograms.items()
+            ],
+        }
+
+    def absorb(self, dump: dict[str, list]) -> None:
+        """Merge a worker registry dump (:meth:`dump`) into this one.
+
+        Counters and gauges are *summed* — per-machine gauge series
+        (e.g. ``cache.used_bytes{machine=N}``) have exactly one worker
+        with a nonzero contribution (the machine's host), so summing
+        reconstructs the inline value while staying order-independent.
+        Histograms merge their exact count/total/min/max summaries.
+        """
+        for name, labels, value in dump["counters"]:
+            self.counter(name, **dict(labels)).inc(value)
+        for name, labels, value in dump["gauges"]:
+            gauge = self.gauge(name, **dict(labels))
+            gauge.set(gauge.value + value)
+        for name, labels, summary in dump["histograms"]:
+            self.histogram(name, **dict(labels)).merge_summary(*summary)
 
     def reset(self) -> None:
         self._counters.clear()

@@ -95,6 +95,17 @@ RECOVERY_REASSIGNED_CHUNKS = "recovery.reassigned_chunks"
 RECOVERY_INVALIDATED_ENTRIES = "recovery.invalidated_entries"
 
 # ---------------------------------------------------------------------
+# execution backends (docs/execution.md) — wall-clock, not simulated
+# ---------------------------------------------------------------------
+EXEC_WORKERS = "exec.workers"
+EXEC_WALL_SECONDS = "exec.wall_seconds"
+EXEC_WORKER_BUSY_SECONDS = "exec.worker_busy_seconds"
+EXEC_WORKER_WAIT_SECONDS = "exec.worker_wait_seconds"
+EXEC_MESSAGES = "exec.messages"
+EXEC_BYTES_SHIPPED = "exec.bytes_shipped"
+EXEC_QUEUE_DEPTH = "exec.queue_depth"
+
+# ---------------------------------------------------------------------
 # simulated-time attribution (Figure 15 categories)
 # ---------------------------------------------------------------------
 TIME_COMPUTE = "time.compute_seconds"
@@ -190,6 +201,23 @@ SPECS: dict[str, MetricSpec] = dict(
         _spec(RECOVERY_INVALIDATED_ENTRIES, "counter", "edge lists",
               "docs/faults.md",
               "cache/HDS entries invalidated after a machine loss"),
+        _spec(EXEC_WORKERS, "gauge", "processes", "docs/execution.md",
+              "worker processes spawned by the process backend"),
+        _spec(EXEC_WALL_SECONDS, "gauge", "seconds", "docs/execution.md",
+              "wall-clock duration of the whole backend execution"),
+        _spec(EXEC_WORKER_BUSY_SECONDS, "counter", "seconds",
+              "docs/execution.md",
+              "wall-clock seconds a worker spent computing (per worker)"),
+        _spec(EXEC_WORKER_WAIT_SECONDS, "counter", "seconds",
+              "docs/execution.md",
+              "wall-clock seconds a worker blocked awaiting fetch replies"),
+        _spec(EXEC_MESSAGES, "counter", "messages", "docs/execution.md",
+              "fetch requests plus replies moved over worker queues"),
+        _spec(EXEC_BYTES_SHIPPED, "counter", "bytes", "docs/execution.md",
+              "edge-list payload bytes shipped between worker processes"),
+        _spec(EXEC_QUEUE_DEPTH, "histogram", "messages",
+              "docs/execution.md",
+              "request-inbox depth sampled at each served fetch"),
         _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
               "simulated seconds charged to computation"),
         _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",

@@ -86,6 +86,15 @@ class Tracer:
             self.dropped += 1
         return span
 
+    def absorb(self, spans: list[Span], dropped: int = 0) -> None:
+        """Replay spans recorded by a worker-process tracer
+        (``repro.exec``). Going through :meth:`record` keeps the exact
+        per-machine phase aggregation; ``dropped`` carries over spans
+        the worker's own cap already shed."""
+        for span in spans:
+            self.record(span)
+        self.dropped += dropped
+
     # -- reading -------------------------------------------------------
     def phase_seconds(self) -> dict[int, dict[str, float]]:
         """Per-machine simulated seconds by Figure 15 phase."""

@@ -81,6 +81,18 @@ class MniDomainCollector:
             domains[order[pos]].add(int(data_vertex))
         domains[order[len(prefix)]].update(int(c) for c in candidates)
 
+    def merge(self, other: "MniDomainCollector") -> "MniDomainCollector":
+        """Union another collector's domains into this one.
+
+        Domains are per-position vertex sets, so merging worker-process
+        copies (``repro.exec``) is a plain set union — supports computed
+        from the merged collector equal the single-process result.
+        """
+        for mine, theirs in zip(self.domains, other.domains):
+            for position, domain in enumerate(theirs):
+                mine[position] |= domain
+        return self
+
     def supports(self) -> list[int]:
         """Automorphism-closed minimum-image supports per pattern."""
         result = []
@@ -101,8 +113,19 @@ def merge_reports(
     app: str,
     graph_name: str,
     counts=None,
+    parallel: bool = False,
 ) -> RunReport:
-    """Aggregate sequential phases (e.g. FSM rounds) into one report."""
+    """Aggregate several reports into one.
+
+    ``parallel=False`` (the default) merges *sequential* phases (e.g.
+    FSM rounds): simulated times add up. ``parallel=True`` merges
+    reports of workers that ran *concurrently* (the ``repro.exec``
+    process backend): the job takes as long as the slowest worker, so
+    ``simulated_seconds`` is the max; per-machine breakdowns still
+    zip-sum, because each worker contributes disjoint clock charges
+    (its hosted machines' buckets, plus the serve seconds it charged to
+    every replica).
+    """
     if not reports:
         return RunReport(system, app, graph_name, counts, 0.0)
     failures = [r.failure for r in reports if r.failure is not None]
@@ -123,7 +146,11 @@ def merge_reports(
         app=app,
         graph_name=graph_name,
         counts=counts,
-        simulated_seconds=sum(r.simulated_seconds for r in reports),
+        simulated_seconds=(
+            max(r.simulated_seconds for r in reports)
+            if parallel
+            else sum(r.simulated_seconds for r in reports)
+        ),
         network_bytes=sum(r.network_bytes for r in reports),
         breakdown=total_breakdown,
         machine_breakdowns=machine_breakdowns,

@@ -38,6 +38,7 @@ class PortedSystem(GPMSystem):
         engine_config: Optional[EngineConfig] = None,
         graph_name: str = "graph",
         obs: Optional[Observability] = None,
+        backend=None,
     ):
         self.graph = graph
         self.graph_name = graph_name
@@ -45,8 +46,13 @@ class PortedSystem(GPMSystem):
         self.engine_config = engine_config or EngineConfig()
         #: observability bundle shared by every engine this system builds
         self.obs = obs
+        #: execution backend shared by every engine this system builds
+        #: (duck-typed — see repro.exec; None = the inline path)
+        self.backend = backend
         self.cluster = Cluster(graph, self.cluster_config)
-        self.engine = KhuzdulEngine(self.cluster, self.engine_config, obs=obs)
+        self.engine = KhuzdulEngine(
+            self.cluster, self.engine_config, obs=obs, backend=backend
+        )
         self._oriented: Optional[tuple[Cluster, KhuzdulEngine]] = None
 
     # -- the port-specific part -----------------------------------------
@@ -64,7 +70,10 @@ class PortedSystem(GPMSystem):
             cluster = Cluster(dag, self.cluster_config)
             self._oriented = (
                 cluster,
-                KhuzdulEngine(cluster, self.engine_config, obs=self.obs),
+                KhuzdulEngine(
+                    cluster, self.engine_config,
+                    obs=self.obs, backend=self.backend,
+                ),
             )
         return self._oriented[1]
 

@@ -88,6 +88,23 @@ def test_every_metric_constant_is_used_by_the_source_tree():
     assert not unused, f"declared but never emitted: {sorted(unused)}"
 
 
+def test_execution_doc_covers_every_backend():
+    """docs/execution.md documents each name ``--backend`` accepts."""
+    from repro.exec import BACKENDS
+
+    doc = Path(__file__).parent.parent / "docs" / "execution.md"
+    assert doc.exists(), "docs/execution.md is missing"
+    text = doc.read_text()
+    for backend in BACKENDS:
+        assert f"`{backend}`" in text, (
+            f"backend {backend!r} missing from docs/execution.md"
+        )
+    # the exec.* family is documented in metrics.md but lives here too:
+    # the doc must explain its wall-clock (non-reproducible) nature
+    assert "wall-clock" in text
+    assert "bit-identical" in text, "determinism contract not stated"
+
+
 def test_span_phases_documented():
     text = _doc_text()
     for attr in PHASE_ATTRS:

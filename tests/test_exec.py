@@ -1,0 +1,229 @@
+"""Execution backends (docs/execution.md).
+
+The headline invariant under test: for any (graph, pattern, seed), the
+``process`` backend produces *bit-identical* pattern counts to the
+``inline`` path, at any worker count — real multiprocess execution
+changes where schedulers run and how fetches travel, never what they
+compute. Run alone via ``make exec-check``.
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.core import EngineConfig
+from repro.errors import ConfigurationError
+from repro.exec import BACKENDS, InlineBackend, ProcessBackend, make_backend
+from repro.faults import FaultPlan
+from repro.graph import dataset
+from repro.graph.generators import erdos_renyi
+from repro.graph.csr import attach_csr, share_csr
+from repro.obs import Observability
+from repro.patterns import catalog
+from repro.systems import KAutomine
+
+pytestmark = pytest.mark.exec
+
+_CLUSTER = ClusterConfig(num_machines=4)
+
+
+def _mico():
+    return dataset("mico", scale=0.3)
+
+
+def _assert_no_stray_children():
+    """Every worker process must be reaped when execute() returns."""
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        stray = [p for p in multiprocessing.active_children()
+                 if p.name.startswith("repro-exec-")]
+        if not stray:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"worker processes leaked: {stray}")
+
+
+# ======================================================================
+# shared-memory CSR export
+# ======================================================================
+def test_shared_csr_round_trip():
+    graph = erdos_renyi(120, 600, seed=3)
+    shared = share_csr(graph)
+    try:
+        attached = attach_csr(shared.handle)
+        try:
+            assert np.array_equal(attached.graph.indptr, graph.indptr)
+            assert np.array_equal(attached.graph.indices, graph.indices)
+            assert attached.graph.directed == graph.directed
+            for v in (0, 7, 119):
+                assert np.array_equal(
+                    attached.graph.neighbors(v), graph.neighbors(v)
+                )
+        finally:
+            attached.close()
+            attached.close()  # idempotent
+    finally:
+        shared.unlink()
+
+
+def test_shared_csr_carries_labels():
+    graph = dataset("mico", scale=0.2, labeled=True)
+    shared = share_csr(graph)
+    try:
+        attached = attach_csr(shared.handle)
+        try:
+            assert np.array_equal(attached.graph.labels, graph.labels)
+        finally:
+            attached.close()
+    finally:
+        shared.unlink()
+
+
+# ======================================================================
+# backend selection
+# ======================================================================
+def test_make_backend_names():
+    assert set(BACKENDS) == {"inline", "process"}
+    assert make_backend("inline") is None
+    backend = make_backend("process", workers=3)
+    assert isinstance(backend, ProcessBackend)
+    assert backend.workers == 3
+    with pytest.raises(ConfigurationError):
+        make_backend("thread")
+
+
+def test_inline_backend_object_matches_no_backend():
+    graph = _mico()
+    bare = KAutomine(graph, _CLUSTER, graph_name="mico")
+    wrapped = KAutomine(graph, _CLUSTER, graph_name="mico",
+                        backend=InlineBackend())
+    r1 = bare.count_pattern(catalog.clique(3))
+    r2 = wrapped.count_pattern(catalog.clique(3))
+    assert r1.counts == r2.counts
+    assert r1.simulated_seconds == r2.simulated_seconds
+
+
+# ======================================================================
+# inline/process equivalence — the determinism contract
+# ======================================================================
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_triangle_counts_identical(workers):
+    graph = _mico()
+    inline = KAutomine(graph, _CLUSTER, graph_name="mico")
+    expected = inline.count_pattern(catalog.clique(3))
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico",
+                     backend=ProcessBackend(workers=workers))
+    got = proc.count_pattern(catalog.clique(3))
+    assert got.counts == expected.counts
+    # the simulated cost model is untouched by real execution
+    assert got.simulated_seconds == expected.simulated_seconds
+    assert got.machine_seconds == expected.machine_seconds
+    assert got.network_bytes == expected.network_bytes
+    assert got.extra["exec"]["workers"] == min(workers, 4)
+    _assert_no_stray_children()
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_motif_census_identical(workers):
+    graph = _mico()
+    patterns = [catalog.clique(3), catalog.chain(3)]
+    inline = KAutomine(graph, _CLUSTER, graph_name="mico")
+    expected = inline.count_patterns(patterns)
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico",
+                     backend=ProcessBackend(workers=workers))
+    got = proc.count_patterns(patterns)
+    assert got.counts == expected.counts
+    assert got.simulated_seconds == expected.simulated_seconds
+    _assert_no_stray_children()
+
+
+def test_collector_udf_merges_across_workers():
+    graph = dataset("mico", scale=0.25, labeled=True)
+    patterns = [catalog.chain(2), catalog.chain(3)]
+    inline = KAutomine(graph, _CLUSTER, graph_name="mico")
+    expected, _ = inline.mni_supports(patterns)
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico",
+                     backend=ProcessBackend(workers=2))
+    got, _ = proc.mni_supports(patterns)
+    assert got == expected
+    _assert_no_stray_children()
+
+
+def test_worker_count_is_clamped_to_machines():
+    graph = _mico()
+    proc = KAutomine(graph, ClusterConfig(num_machines=2),
+                     graph_name="mico", backend=ProcessBackend(workers=16))
+    report = proc.count_pattern(catalog.clique(3))
+    assert report.extra["exec"]["workers"] == 2
+
+
+# ======================================================================
+# observability merge
+# ======================================================================
+def test_metrics_merge_matches_inline():
+    graph = _mico()
+    obs_inline = Observability()
+    inline = KAutomine(graph, _CLUSTER, graph_name="mico", obs=obs_inline)
+    inline.count_pattern(catalog.clique(3))
+    obs_proc = Observability()
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico", obs=obs_proc,
+                     backend=ProcessBackend(workers=2))
+    report = proc.count_pattern(catalog.clique(3))
+
+    def counters(obs):
+        return {
+            (name, labels): value
+            for name, labels, value in obs.registry.dump()["counters"]
+            if not name.startswith("exec.")
+        }
+
+    assert counters(obs_proc) == pytest.approx(counters(obs_inline))
+    emitted = {name for name, _, _ in obs_proc.registry.dump()["counters"]}
+    assert "exec.messages" in emitted
+    assert "exec.bytes_shipped" in emitted
+    exec_extra = report.extra["exec"]
+    assert exec_extra["backend"] == "process"
+    assert exec_extra["wall_seconds"] > 0.0
+    assert len(exec_extra["worker_busy_seconds"]) == 2
+    assert exec_extra["bytes_shipped"] > 0
+
+
+# ======================================================================
+# guard rails
+# ======================================================================
+def test_faults_require_inline_backend():
+    graph = _mico()
+    config = EngineConfig(faults=FaultPlan.parse("crash:m1@chunk=2"))
+    proc = KAutomine(graph, _CLUSTER, engine_config=config,
+                     graph_name="mico", backend=ProcessBackend(workers=2))
+    with pytest.raises(ConfigurationError, match="inline backend"):
+        proc.count_pattern(catalog.clique(3))
+
+
+def test_non_mergeable_udf_is_rejected():
+    graph = _mico()
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico",
+                     backend=ProcessBackend(workers=2))
+    schedule = proc.build_schedule(catalog.clique(3), induced=False)
+    with pytest.raises(ConfigurationError, match="merge"):
+        proc.engine.run(schedule, udf=lambda emb: None,
+                        system="k-automine", app="t", graph_name="mico")
+
+
+# ======================================================================
+# CLI integration
+# ======================================================================
+def test_cli_process_backend(capsys):
+    from repro.__main__ import main
+
+    assert main([
+        "count", "--graph", "mico", "--scale", "0.3", "--machines", "4",
+        "--pattern", "clique3", "--backend", "process", "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "backend=process" in out
+    assert "count=" in out
+    _assert_no_stray_children()
