@@ -2,12 +2,20 @@
 # (PYTHONPATH=src); no installation required.
 
 PYTHON ?= python
-PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test suite docs-check faults-check exec-check bench
+# Cap every test's wall-clock when pytest-timeout is available (CI
+# installs it; a bare container may not have it — a hung worker-death
+# test then still fails at the backend's own bounded timeouts, just
+# later). The cap is generous: these are liveness bounds, not perf
+# budgets.
+TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=300 --timeout-method=thread")
+
+PYTEST := PYTHONPATH=src $(PYTHON) -m pytest $(TIMEOUT_FLAGS)
+
+.PHONY: test suite docs-check faults-check exec-check exec-faults-check bench
 
 ## tier-1: full suite, then the docs/fault/backend contracts
-test: suite docs-check faults-check exec-check
+test: suite docs-check faults-check exec-check exec-faults-check
 
 suite:
 	$(PYTEST) -x -q
@@ -23,6 +31,11 @@ faults-check:
 ## execution-backend equivalence suite (docs/execution.md)
 exec-check:
 	$(PYTEST) -m exec -q
+
+## worker-death liveness/recovery suite (docs/execution.md,
+## "Real-process failure semantics") — kills real worker processes
+exec-faults-check:
+	$(PYTEST) -m exec_faults -q
 
 ## paper-figure benchmark suite (slow)
 bench:

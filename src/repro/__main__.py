@@ -92,7 +92,12 @@ def _build_system(args):
     )
     obs = Observability() if args.metrics != "off" else None
     try:
-        backend = make_backend(args.backend, getattr(args, "workers", None))
+        backend = make_backend(
+            args.backend,
+            getattr(args, "workers", None),
+            heartbeat=getattr(args, "heartbeat", None),
+            on_worker_death=getattr(args, "on_worker_death", None),
+        )
     except ConfigurationError as exc:
         raise SystemExit(str(exc))
     cls = KGraphPi if args.system == "k-graphpi" else KAutomine
@@ -152,6 +157,21 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None, metavar="N",
         help="process-backend worker count (default: one per simulated "
              "machine, capped at the machine count)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="process-backend liveness interval: the parent sweeps "
+             "worker exit codes at least this often while idle, so a "
+             "dead worker is detected within roughly two heartbeats "
+             "(default: 1s; docs/execution.md)",
+    )
+    parser.add_argument(
+        "--on-worker-death", default=None, choices=["fail", "recover"],
+        help="process-backend policy when a worker process dies: "
+             "'fail' returns a structured CRASHED report immediately, "
+             "'recover' re-executes the lost workers' hosted machines "
+             "through the deterministic inline path and reports "
+             "RECOVERED with complete counts (default: fail)",
     )
     parser.add_argument(
         "--metrics", default="off", choices=["off", "table", "json"],

@@ -125,6 +125,13 @@ class EdgeCache:
         and does not occupy chunk memory).
         """
         if vertex in self._entries:
+            # a re-admission is a touch: recency policies must move the
+            # entry and pay the bookkeeping, or re-admitted vertices
+            # stay invisible to the replacement order (LRU would evict
+            # a hot entry it just re-admitted)
+            if self.policy in (CachePolicy.LRU, CachePolicy.MRU):
+                self._entries.move_to_end(vertex)
+                self._pending_cost += self.cost.cache_policy_update
             return True
         if self.policy is CachePolicy.STATIC:
             if degree < self.degree_threshold:

@@ -175,6 +175,31 @@ class KhuzdulEngine:
             )
         return self._execute_inline(schedules, udf, system, app, graph_name)
 
+    def execute_hosted(
+        self,
+        schedules: list[Schedule],
+        udf: Optional[MultiUdf],
+        system: str,
+        app: str,
+        graph_name: str,
+        hosted: set,
+        transport=None,
+    ) -> tuple[list[int], RunReport]:
+        """Run only ``hosted`` machine ids through the inline path.
+
+        The execution-backend entry point (docs/execution.md): process
+        backend workers call it with their hosted subset and the queue
+        transport, and the parent's lost-worker re-execution calls it
+        with a dead worker's subset and no transport. The restriction
+        changes *which* schedulers run, never what any of them
+        computes — which is why a re-executed subset reproduces a lost
+        worker's counts and simulated measurements bit-exactly.
+        """
+        return self._execute_inline(
+            schedules, udf, system, app, graph_name,
+            hosted=hosted, transport=transport,
+        )
+
     def _execute_inline(
         self,
         schedules: list[Schedule],

@@ -25,17 +25,32 @@ from repro.exec.process import ProcessBackend
 BACKENDS = ("inline", "process")
 
 
-def make_backend(name: str, workers: Optional[int] = None):
+def make_backend(
+    name: str,
+    workers: Optional[int] = None,
+    heartbeat: Optional[float] = None,
+    on_worker_death: Optional[str] = None,
+):
     """Build the backend for a CLI/config name.
 
     Returns ``None`` for ``inline`` — attaching no backend at all *is*
     the inline path, and keeping it literally the same code object as
     before is the cheapest possible determinism argument.
+
+    ``heartbeat`` and ``on_worker_death`` tune the process backend's
+    liveness detection (``None`` keeps the backend defaults); the
+    inline backend has no worker processes to watch, so they are
+    silently ignored there.
     """
     if name == "inline":
         return None
     if name == "process":
-        return ProcessBackend(workers=workers)
+        kwargs = {}
+        if heartbeat is not None:
+            kwargs["heartbeat"] = heartbeat
+        if on_worker_death is not None:
+            kwargs["on_worker_death"] = on_worker_death
+        return ProcessBackend(workers=workers, **kwargs)
     raise ConfigurationError(
         f"unknown execution backend {name!r}; expected one of {BACKENDS}"
     )

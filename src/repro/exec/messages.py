@@ -26,6 +26,22 @@ import numpy as np
 #: results are in; the responder thread exits on receipt.
 SHUTDOWN = "__exec_shutdown__"
 
+# ---------------------------------------------------------------------
+# result-queue message kinds: every message a worker posts to the
+# parent is a (kind, worker_id, payload) triple with one of these tags
+# ---------------------------------------------------------------------
+#: compute finished — payload carries counts/report/udf/obs/stats
+RESULT = "result"
+#: responder drained after SHUTDOWN — payload carries responder stats
+STATS = "stats"
+#: unexpected failure — payload is the formatted traceback text
+ERROR = "error"
+#: a bounded transport wait found its serving peer dead — payload is
+#: ``{"peer": worker_id, "message": str}``; the parent treats the
+#: sender as lost (its compute aborted) and applies the
+#: ``on_worker_death`` policy
+PEER_DEAD = "peer_dead"
+
 
 @dataclass(frozen=True)
 class FetchRequest:

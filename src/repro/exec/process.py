@@ -5,15 +5,26 @@ Execution plan (docs/execution.md):
 1. Export the graph's CSR arrays into shared memory once
    (:mod:`repro.graph.csr`) — workers map them zero-copy.
 2. Build the queue fabric (per-worker request inboxes, per-worker-pair
-   reply queues) and spawn ``workers`` processes, each running
+   reply queues, per-worker death notices, a fleet stop event) and
+   spawn ``workers`` processes, each running
    :func:`repro.exec.worker.worker_main`: the unmodified inline
    scheduler loop over the machines it hosts (``m % workers``), with
    inter-machine edge-list batches travelling as real messages in
    circulant order, one batch in flight while the previous computes.
-3. Collect per-worker results, broadcast the shutdown sentinel (a
-   worker's responder must outlive its own compute — other workers may
-   still fetch from it), then collect responder stats and join.
-4. Merge: counts sum; worker partial reports fold through
+3. Collect per-worker results while *watching worker liveness*: every
+   ``heartbeat`` seconds without a message, the parent sweeps worker
+   exit codes; a dead or silent worker is marked lost, its death
+   notice is published to the fleet (so peers blocked on its replies
+   abort within a bounded wait instead of deadlocking), and the
+   ``on_worker_death`` policy applies — ``fail`` returns a structured
+   ``CRASHED`` report immediately, ``recover`` re-executes the lost
+   workers' hosted machines through the deterministic inline path and
+   reports ``RECOVERED`` with complete counts.
+4. Broadcast the shutdown sentinel (a worker's responder must outlive
+   its own compute — other workers may still fetch from it), collect
+   responder stats, and join. Shared-memory segments are unlinked on
+   every exit path.
+5. Merge: counts sum; worker partial reports fold through
    ``merge_reports(parallel=True)``; cluster-global fields that need
    cross-worker data (machine finish times, traffic matrix, cache hit
    rate, utilization) are reconstructed here; worker metric/span dumps
@@ -24,8 +35,11 @@ Determinism: a machine's scheduler sees the same graph, roots, and
 configuration regardless of which process hosts it, and the transport
 never alters simulated accounting — so counts are bit-identical to the
 inline backend at any worker count (the invariant
-``tests/test_exec.py`` pins down). Wall-clock ``exec.*`` readings are
-the only nondeterministic outputs.
+``tests/test_exec.py`` pins down). This is also what makes worker-death
+recovery exact: re-executing a lost worker's hosted machines inline
+reproduces precisely the results the worker would have returned.
+Wall-clock ``exec.*`` readings (and ``net.peer_timeouts``) are the
+only nondeterministic outputs.
 
 Not supported here (raise :class:`~repro.errors.ConfigurationError`
 up front): fault plans (injected crash recovery reassigns roots across
@@ -39,22 +53,70 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import queue as queue_mod
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional
 
+from repro.cluster.cluster import Cluster
+from repro.core.engine import KhuzdulEngine
 from repro.core.runtime import RunReport
 from repro.errors import ConfigurationError
 from repro.exec.backend import Backend
-from repro.exec.messages import SHUTDOWN
+from repro.exec.messages import ERROR, PEER_DEAD, RESULT, SHUTDOWN, STATS
 from repro.exec.transport import Endpoints
 from repro.exec.worker import worker_main
+from repro.faults.recovery import (
+    FailureSummary,
+    Outcome,
+    worker_death_event,
+    worker_loss_summary,
+)
 from repro.graph.csr import share_csr
-from repro.obs import names
+from repro.obs import Observability, names
 from repro.systems.base import merge_reports
 
 _HDS_KEYS = ("hits", "probes", "drops")
 _FETCH_KEYS = ("local", "remote", "cache", "shared")
 _CLOCK_KEYS = ("compute", "scheduler", "cache", "network")
+
+#: responder stats synthesized for workers that died before reporting
+#: theirs (their wall-clock serve numbers died with them)
+_ZERO_STATS = {
+    "served_requests": 0,
+    "served_bytes": 0,
+    "queue_depth": (0, 0.0, 0.0, 0.0),
+}
+
+#: the two worker-death policies ``--on-worker-death`` accepts
+DEATH_POLICIES = ("fail", "recover")
+
+
+class _CollectTimeout(Exception):
+    """The wall-clock collection budget expired (converted to a
+    structured ``TIMEOUT`` report, never raised to callers)."""
+
+
+@dataclass
+class _FleetState:
+    """Liveness bookkeeping for one ``execute`` call."""
+
+    #: sweeps of worker exit codes the parent performed
+    heartbeat_checks: int = 0
+    #: bounded-wait expirations reported by workers that aborted on a
+    #: dead peer (their requester stats never arrive)
+    peer_timeout_messages: int = 0
+    #: worker_id -> human-readable death reason
+    deaths: dict = field(default_factory=dict)
+    #: lost workers whose hosted machines were re-executed inline
+    reexecuted: set = field(default_factory=set)
+
+
+def _error_reason(traceback_text: str) -> str:
+    """The last non-empty traceback line — enough to name the failure
+    without shipping a full Python traceback into the report."""
+    lines = [ln.strip() for ln in traceback_text.splitlines() if ln.strip()]
+    return f"uncaught worker error: {lines[-1]}" if lines else \
+        "uncaught worker error"
 
 
 class ProcessBackend(Backend):
@@ -67,6 +129,8 @@ class ProcessBackend(Backend):
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         timeout: float = 600.0,
+        heartbeat: float = 1.0,
+        on_worker_death: str = "fail",
     ):
         #: worker-process count; None = one per simulated machine,
         #: always clamped to the machine count (a machine's scheduler
@@ -77,8 +141,25 @@ class ProcessBackend(Backend):
         #: picklable so both work
         self.start_method = start_method
         #: wall-clock budget for collecting worker messages before the
-        #: run is declared wedged and the fleet is torn down
+        #: run is declared wedged; expiry yields a structured TIMEOUT
+        #: report, never a raised exception
         self.timeout = timeout
+        #: liveness-check interval: the parent sweeps worker exit codes
+        #: at least this often while idle, so a dead worker is detected
+        #: within roughly two heartbeats — never at the full timeout
+        if heartbeat <= 0:
+            raise ConfigurationError("heartbeat must be positive")
+        self.heartbeat = heartbeat
+        #: what to do when a worker process dies mid-run: ``fail``
+        #: returns a partial CRASHED report immediately; ``recover``
+        #: re-executes the lost workers' hosted machines through the
+        #: deterministic inline path (counts stay exact)
+        if on_worker_death not in DEATH_POLICIES:
+            raise ConfigurationError(
+                f"on_worker_death must be one of {DEATH_POLICIES}, "
+                f"got {on_worker_death!r}"
+            )
+        self.on_worker_death = on_worker_death
 
     # ------------------------------------------------------------------
     def execute(self, engine, schedules, udf, system, app, graph_name):
@@ -102,6 +183,9 @@ class ProcessBackend(Backend):
         started = perf_counter()
         shared = share_csr(cluster.graph)
         processes = []
+        result_queue = None
+        endpoints = None
+        fleet = _FleetState()
         try:
             result_queue = context.Queue()
             endpoints = Endpoints(
@@ -112,6 +196,8 @@ class ProcessBackend(Backend):
                     for server in range(workers)
                     for requester in range(workers)
                 },
+                deaths=[context.Event() for _ in range(workers)],
+                stop=context.Event(),
             )
             job = (system, app, graph_name)
             for worker_id in range(workers):
@@ -125,14 +211,61 @@ class ProcessBackend(Backend):
                 ))
             for process in processes:
                 process.start()
-            results = self._collect(result_queue, processes, workers,
-                                    "result")
+
+            try:
+                results = self._collect(
+                    result_queue, processes, endpoints,
+                    set(range(workers)), RESULT, fleet,
+                    fail_fast=(self.on_worker_death == "fail"),
+                )
+            except _CollectTimeout as exc:
+                return self._failed_report(
+                    engine, system, app, graph_name, len(schedules),
+                    workers, perf_counter() - started, fleet,
+                    Outcome.TIMEOUT, str(exc),
+                )
+            if fleet.deaths and self.on_worker_death == "fail":
+                return self._failed_report(
+                    engine, system, app, graph_name, len(schedules),
+                    workers, perf_counter() - started, fleet,
+                    Outcome.CRASHED, None,
+                )
             for inbox in endpoints.inboxes:
                 inbox.put(SHUTDOWN)
-            stats = self._collect(result_queue, processes, workers, "stats")
-            for process in processes:
-                process.join(timeout=30.0)
+            try:
+                stats = self._collect(
+                    result_queue, processes, endpoints,
+                    set(results), STATS, fleet, fail_fast=False,
+                )
+            except _CollectTimeout as exc:
+                return self._failed_report(
+                    engine, system, app, graph_name, len(schedules),
+                    workers, perf_counter() - started, fleet,
+                    Outcome.TIMEOUT, str(exc),
+                )
+            lost = sorted(set(range(workers)) - set(results))
+            if lost:
+                # on_worker_death == "recover": replay every lost
+                # worker's hosted machines through the inline path —
+                # deterministic, so the merged counts stay exact
+                fleet.reexecuted = set(lost)
+                results.update(self._reexecute(
+                    engine, schedules, udf, system, app, graph_name,
+                    lost, workers,
+                ))
+            for worker_id in range(workers):
+                stats.setdefault(worker_id, dict(_ZERO_STATS))
         finally:
+            # teardown runs on every path: publish the stop signal so
+            # bounded transport waits abort, unblock feeder threads by
+            # draining the result queue, then reap (or terminate) the
+            # fleet and unlink the shared-memory segments
+            if endpoints is not None:
+                endpoints.stop.set()
+            self._drain(result_queue)
+            for process in processes:
+                process.join(timeout=2.0)
+            self._drain(result_queue)
             for process in processes:
                 if process.is_alive():
                     process.terminate()
@@ -140,7 +273,8 @@ class ProcessBackend(Backend):
             shared.unlink()
         wall = perf_counter() - started
         return self._merge(engine, udf, system, app, graph_name,
-                           len(schedules), workers, results, stats, wall)
+                           len(schedules), workers, results, stats, wall,
+                           fleet)
 
     # ------------------------------------------------------------------
     def _validate_udf(self, udf) -> None:
@@ -168,43 +302,245 @@ class ProcessBackend(Backend):
             "fork" if "fork" in methods else "spawn"
         )
 
-    def _collect(self, result_queue, processes, expected, tag) -> dict:
-        """Gather one tagged message per worker, watching for deaths."""
+    # ------------------------------------------------------------------
+    # collection with liveness detection
+    # ------------------------------------------------------------------
+    def _collect(self, result_queue, processes, endpoints, pending, tag,
+                 fleet, fail_fast) -> dict:
+        """Gather one tagged message per pending worker.
+
+        Every queue wait is bounded by ``heartbeat``; each expiry
+        sweeps worker exit codes, so a dead worker is *marked lost*
+        (death notice published to its peers) within about two
+        heartbeats instead of stalling until the full ``timeout``.
+        With ``fail_fast`` the first death ends collection immediately;
+        otherwise collection continues until every pending worker has
+        either reported or been marked lost.
+        """
         collected: dict[int, dict] = {}
+        expected = len(pending)
         deadline = perf_counter() + self.timeout
-        while len(collected) < expected:
+        suspects: dict[int, float] = {}
+        while pending:
             remaining = deadline - perf_counter()
             if remaining <= 0:
-                raise RuntimeError(
-                    f"process backend timed out after {self.timeout:.0f}s "
-                    f"awaiting {tag!r} messages "
+                raise _CollectTimeout(
+                    f"process backend timed out after "
+                    f"{self.timeout:.0f}s awaiting {tag!r} messages "
                     f"({len(collected)}/{expected} received)"
                 )
             try:
-                message = result_queue.get(timeout=min(1.0, remaining))
+                message = result_queue.get(
+                    timeout=min(self.heartbeat, max(0.01, remaining))
+                )
             except queue_mod.Empty:
-                dead = [
-                    process.name for process in processes
-                    if process.exitcode not in (None, 0)
-                ]
-                if dead:
-                    raise RuntimeError(
-                        f"worker process(es) died without reporting: {dead}"
-                    ) from None
+                self._sweep(processes, endpoints, pending, fleet, suspects)
+                if fail_fast and fleet.deaths:
+                    break
                 continue
             kind, worker_id, payload = message
-            if kind == "error":
-                raise RuntimeError(f"worker {worker_id} failed:\n{payload}")
-            if kind != tag:
-                raise RuntimeError(
-                    f"protocol violation: got {kind!r} while awaiting {tag!r}"
+            if worker_id not in pending:
+                continue  # late message from a worker already marked lost
+            if kind == ERROR:
+                self._mark_lost(endpoints, pending, fleet, worker_id,
+                                _error_reason(payload))
+            elif kind == PEER_DEAD:
+                fleet.peer_timeout_messages += max(
+                    1, int(payload.get("liveness_timeouts", 0))
                 )
-            collected[worker_id] = payload
+                self._mark_lost(endpoints, pending, fleet, worker_id,
+                                payload["message"])
+            elif kind == tag:
+                collected[worker_id] = payload
+                pending.discard(worker_id)
+                suspects.pop(worker_id, None)
+            else:
+                raise RuntimeError(
+                    f"protocol violation: got {kind!r} while awaiting "
+                    f"{tag!r}"
+                )
+            if fail_fast and fleet.deaths:
+                break
         return collected
+
+    def _sweep(self, processes, endpoints, pending, fleet,
+               suspects) -> None:
+        """One liveness pass over the pending workers' exit codes."""
+        fleet.heartbeat_checks += 1
+        now = perf_counter()
+        grace = max(self.heartbeat, 0.5)
+        for worker_id in sorted(pending):
+            exitcode = processes[worker_id].exitcode
+            if exitcode is None:
+                suspects.pop(worker_id, None)
+                continue
+            first_seen = suspects.setdefault(worker_id, now)
+            if exitcode == 0 and now - first_seen < grace:
+                # clean exit: give an already-flushed message one grace
+                # interval to surface before declaring the worker silent
+                continue
+            if exitcode == 0:
+                reason = "exited silently without reporting"
+            elif exitcode > 0:
+                reason = f"exited with code {exitcode} before reporting"
+            else:
+                reason = f"killed by signal {-exitcode} before reporting"
+            self._mark_lost(endpoints, pending, fleet, worker_id, reason)
+
+    @staticmethod
+    def _mark_lost(endpoints, pending, fleet, worker_id, reason) -> None:
+        """Record a death and publish the notice to the fleet, so peers
+        blocked on the dead worker's replies abort their bounded waits."""
+        fleet.deaths[worker_id] = reason
+        pending.discard(worker_id)
+        if endpoints.deaths is not None:
+            endpoints.deaths[worker_id].set()
+
+    @staticmethod
+    def _drain(result_queue) -> None:
+        """Discard undelivered messages so child feeder threads blocked
+        on a full pipe can flush and let their processes exit."""
+        if result_queue is None:
+            return
+        while True:
+            try:
+                result_queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            except (OSError, EOFError):  # pragma: no cover - torn queue
+                return
+
+    # ------------------------------------------------------------------
+    # lost-worker re-execution (on_worker_death == "recover")
+    # ------------------------------------------------------------------
+    def _reexecute(self, engine, schedules, udf, system, app, graph_name,
+                   lost, workers) -> dict:
+        """Replay each lost worker's hosted machines inline.
+
+        The determinism contract makes this exact: the inline path,
+        restricted to a worker's hosted set, computes bit-identically
+        what that worker would have returned — the same argument that
+        backs the engine's simulated chunk-granular recovery
+        (docs/faults.md), applied at worker granularity. Each pass gets
+        a fresh cluster view and a pickled UDF copy, exactly like a
+        spawned worker.
+        """
+        parent = engine.cluster
+        recovered: dict[int, dict] = {}
+        for worker_id in lost:
+            cluster = Cluster(parent.graph, parent.config)
+            obs = Observability() if engine.obs.enabled else None
+            recovery_engine = KhuzdulEngine(cluster, engine.config, obs=obs)
+            udf_copy = (
+                pickle.loads(pickle.dumps(udf)) if udf is not None else None
+            )
+            hosted = {
+                machine for machine in range(cluster.num_machines)
+                if machine % workers == worker_id
+            }
+            replay_started = perf_counter()
+            counts, report = recovery_engine.execute_hosted(
+                schedules, udf_copy, system, app, graph_name,
+                hosted=hosted, transport=None,
+            )
+            payload = {
+                "counts": counts,
+                "report": report,
+                "udf": udf_copy,
+                "busy_seconds": perf_counter() - replay_started,
+                "requester": {
+                    "wait_seconds": 0.0,
+                    "messages": 0,
+                    "bytes_received": 0,
+                    "liveness_timeouts": 0,
+                },
+                "obs": None,
+            }
+            if obs is not None:
+                payload["obs"] = {
+                    "metrics": obs.registry.dump(),
+                    "spans": obs.tracer.spans,
+                    "dropped": obs.tracer.dropped,
+                }
+            recovered[worker_id] = payload
+        return recovered
+
+    # ------------------------------------------------------------------
+    # structured fail-fast reports (never a bare stall or traceback)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _machines_of(worker_id: int, workers: int,
+                     machines: int) -> list[int]:
+        return [m for m in range(machines) if m % workers == worker_id]
+
+    def _death_events(self, fleet, workers, machines) -> list[dict]:
+        return [
+            worker_death_event(
+                worker_id,
+                self._machines_of(worker_id, workers, machines),
+                reason,
+                worker_id in fleet.reexecuted,
+            )
+            for worker_id, reason in sorted(fleet.deaths.items())
+        ]
+
+    def _failed_report(self, engine, system, app, graph_name,
+                       num_schedules, workers, wall, fleet, outcome,
+                       message) -> tuple[list[int], RunReport]:
+        machines = engine.cluster.num_machines
+        events = self._death_events(fleet, workers, machines)
+        if outcome is Outcome.CRASHED:
+            failure = worker_loss_summary(events, recovered=False)
+        else:
+            failure = FailureSummary(outcome, message=message or "",
+                                     events=events)
+        report = RunReport(
+            system=system, app=app, graph_name=graph_name, counts=None,
+            simulated_seconds=0.0, num_machines=machines, failure=failure,
+        )
+        report.extra["exec"] = self._exec_extra(
+            workers, wall, fleet, peer_timeouts=fleet.peer_timeout_messages,
+            events=events,
+        )
+        obs = engine.obs
+        if obs.enabled:
+            scope = obs.registry.scope()
+            scope.gauge(names.EXEC_WORKERS).set(workers)
+            scope.gauge(names.EXEC_WALL_SECONDS).set(wall)
+            self._emit_liveness_metrics(
+                scope, fleet, fleet.peer_timeout_messages
+            )
+            report.extra["obs"] = obs.summary()
+        return [0] * num_schedules, report
+
+    def _exec_extra(self, workers, wall, fleet, peer_timeouts,
+                    events) -> dict:
+        extra = {
+            "backend": self.name,
+            "workers": workers,
+            "wall_seconds": wall,
+            "heartbeat_seconds": self.heartbeat,
+            "heartbeat_checks": fleet.heartbeat_checks,
+            "on_worker_death": self.on_worker_death,
+            "worker_deaths": len(fleet.deaths),
+            "peer_timeouts": peer_timeouts,
+        }
+        if events:
+            extra["worker_death_events"] = events
+        return extra
+
+    def _emit_liveness_metrics(self, scope, fleet, peer_timeouts) -> None:
+        scope.gauge(names.EXEC_HEARTBEAT_INTERVAL).set(self.heartbeat)
+        scope.counter(names.EXEC_HEARTBEAT_CHECKS).inc(
+            fleet.heartbeat_checks
+        )
+        scope.counter(names.EXEC_WORKER_DEATHS).inc(len(fleet.deaths))
+        scope.counter(names.NET_PEER_TIMEOUTS).inc(peer_timeouts)
 
     # ------------------------------------------------------------------
     def _merge(self, engine, udf, system, app, graph_name, num_schedules,
-               workers, results, stats, wall) -> tuple[list[int], RunReport]:
+               workers, results, stats, wall,
+               fleet) -> tuple[list[int], RunReport]:
         ordered = [results[worker_id] for worker_id in range(workers)]
         reports = [entry["report"] for entry in ordered]
         counts = [
@@ -254,6 +590,17 @@ class ProcessBackend(Backend):
             failures,
             key=lambda f: f.machine_id if f.machine_id is not None else -1,
         ) if failures else None
+        death_events = []
+        if fleet.deaths:
+            death_events = self._death_events(fleet, workers, machines)
+            if failure is not None and failure.fatal:
+                # a fatal simulated outcome (OOM/timeout) wins; the real
+                # deaths still land on its event log
+                failure.events = list(failure.events) + death_events
+            elif fleet.reexecuted:
+                failure = worker_loss_summary(death_events, recovered=True)
+            # deaths that cost nothing (after every result was in) leave
+            # the run clean; they are recorded in extra["exec"] only
 
         busiest_out = float(traffic.sum(axis=1).max()) if machines else 0.0
         merged.counts = None
@@ -294,6 +641,10 @@ class ProcessBackend(Backend):
         busy = [entry["busy_seconds"] for entry in ordered]
         wait = [entry["requester"]["wait_seconds"] for entry in ordered]
         messages = sum(entry["requester"]["messages"] for entry in ordered)
+        peer_timeouts = fleet.peer_timeout_messages + sum(
+            int(entry["requester"].get("liveness_timeouts", 0))
+            for entry in ordered
+        )
         shipped = sum(stats[worker_id]["served_bytes"]
                       for worker_id in range(workers))
         depth = self._merge_depth(
@@ -301,9 +652,9 @@ class ProcessBackend(Backend):
              for worker_id in range(workers)]
         )
         merged.extra["exec"] = {
-            "backend": self.name,
-            "workers": workers,
-            "wall_seconds": wall,
+            **self._exec_extra(workers, wall, fleet,
+                               peer_timeouts=peer_timeouts,
+                               events=death_events),
             "worker_busy_seconds": busy,
             "worker_wait_seconds": wait,
             "messages": messages,
@@ -322,7 +673,8 @@ class ProcessBackend(Backend):
                     obs.registry.absorb(dump["metrics"])
                     obs.tracer.absorb(dump["spans"], dump["dropped"])
             self._emit_exec_metrics(obs, workers, wall, busy, wait,
-                                    messages, shipped, depth)
+                                    messages, shipped, depth, fleet,
+                                    peer_timeouts)
             summary = obs.summary()
             summary["network"] = {
                 "per_machine_sent_bytes": [
@@ -354,7 +706,8 @@ class ProcessBackend(Backend):
         )
 
     def _emit_exec_metrics(self, obs, workers, wall, busy, wait,
-                           messages, shipped, depth) -> None:
+                           messages, shipped, depth, fleet,
+                           peer_timeouts) -> None:
         scope = obs.registry.scope()
         scope.gauge(names.EXEC_WORKERS).set(workers)
         scope.gauge(names.EXEC_WALL_SECONDS).set(wall)
@@ -369,3 +722,4 @@ class ProcessBackend(Backend):
         scope.counter(names.EXEC_BYTES_SHIPPED).inc(shipped)
         if depth[0]:
             scope.histogram(names.EXEC_QUEUE_DEPTH).merge_summary(*depth)
+        self._emit_liveness_metrics(scope, fleet, peer_timeouts)

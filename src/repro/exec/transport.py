@@ -14,6 +14,15 @@ circulant batch: :meth:`WorkerTransport.post` (fire the request) and
 it). The scheduler posts batch *i+1* before collecting batch *i*, so
 one batch is always in flight — the paper's compute/communication
 pipelining, on real queues.
+
+Liveness: no wait in this module is unbounded. The responder polls its
+inbox with a timeout and re-checks the fleet stop event, so ``join``
+cannot hang when a peer dies before sending SHUTDOWN; the requester's
+reply wait starts short and backs off exponentially up to a cap,
+re-checking the serving peer's death notice (published by the parent's
+sentinel watcher) at every expiry, so a dead peer becomes a structured
+:class:`~repro.errors.PeerDeadError` instead of a deadlock
+(docs/execution.md, "Real-process failure semantics").
 """
 
 from __future__ import annotations
@@ -22,16 +31,23 @@ import queue as queue_mod
 import threading
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.errors import PeerDeadError
 from repro.exec.messages import SHUTDOWN, FetchReply, FetchRequest
 from repro.graph.graph import Graph
 
 #: how long one reply may take before the worker assumes the fleet is
 #: wedged and aborts (generous: covers heavily loaded CI machines)
 REPLY_TIMEOUT_SECONDS = 300.0
+#: first bounded reply wait; doubles on each expiry (capped below) so a
+#: fast reply costs one short sleep and a dead peer is noticed quickly
+INITIAL_WAIT_SECONDS = 0.05
+#: cap on any single bounded wait between liveness re-checks — the
+#: worker-side detection bound for a dead peer or a fleet stop
+LIVENESS_INTERVAL_SECONDS = 1.0
 
 
 @dataclass
@@ -42,14 +58,31 @@ class Endpoints:
     sentinel) for worker ``w``; ``replies[(sw, rw)]`` carries
     :class:`FetchReply`s from server worker ``sw`` to requester worker
     ``rw``. Machine ``m`` is hosted by worker ``m % num_workers``.
+
+    ``deaths[w]`` is a per-worker death notice (a multiprocessing
+    ``Event`` the *parent's* sentinel watcher sets when worker ``w``
+    dies) and ``stop`` is the fleet-wide teardown signal; both default
+    to ``None`` for callers that build a fabric without liveness
+    tracking (unit tests), in which case waits still stay bounded by
+    :data:`REPLY_TIMEOUT_SECONDS`.
     """
 
     num_workers: int
     inboxes: list
     replies: dict
+    #: per-worker death notices set by the parent's liveness watcher
+    deaths: Optional[list] = None
+    #: fleet-wide stop signal set by the parent during teardown
+    stop: Optional[object] = None
 
     def worker_of(self, machine: int) -> int:
         return machine % self.num_workers
+
+    def peer_dead(self, worker: int) -> bool:
+        return self.deaths is not None and self.deaths[worker].is_set()
+
+    def stopping(self) -> bool:
+        return self.stop is not None and self.stop.is_set()
 
 
 class WorkerTransport:
@@ -64,6 +97,9 @@ class WorkerTransport:
         self.requests_posted = 0
         self.replies_received = 0
         self.bytes_received = 0
+        #: bounded reply waits that expired and re-checked peer
+        #: liveness before the reply arrived (feeds net.peer_timeouts)
+        self.liveness_timeouts = 0
         # responder-side accounting (responder thread only)
         self.served_requests = 0
         self.served_bytes = 0
@@ -73,6 +109,7 @@ class WorkerTransport:
         self._depth_max = float("-inf")
         self._thread: threading.Thread | None = None
         self._stopped = threading.Event()
+        self._stop_requested = threading.Event()
 
     # ------------------------------------------------------------------
     # responder side
@@ -90,7 +127,15 @@ class WorkerTransport:
         replies = self.endpoints.replies
         try:
             while True:
-                message = inbox.get()
+                # bounded: a peer that dies before sending SHUTDOWN
+                # must not wedge this thread (and thereby join())
+                try:
+                    message = inbox.get(timeout=LIVENESS_INTERVAL_SECONDS)
+                except queue_mod.Empty:
+                    if (self._stop_requested.is_set()
+                            or self.endpoints.stopping()):
+                        break
+                    continue
                 if message == SHUTDOWN:
                     break
                 self._observe_depth(inbox)
@@ -131,8 +176,15 @@ class WorkerTransport:
             payload = np.empty(0, dtype=graph.indices.dtype)
         return payload, lengths
 
+    def stop(self) -> None:
+        """Ask the responder to exit even if SHUTDOWN never arrives."""
+        self._stop_requested.set()
+
     def join(self, timeout: float | None = None) -> bool:
-        """Wait for the responder to see the shutdown sentinel."""
+        """Wait for the responder to see the shutdown sentinel (or a
+        stop signal — the serve loop re-checks both every
+        :data:`LIVENESS_INTERVAL_SECONDS`, so this cannot hang once
+        either is set)."""
         stopped = self._stopped.wait(timeout)
         if stopped and self._thread is not None:
             self._thread.join(timeout)
@@ -153,18 +205,38 @@ class WorkerTransport:
 
     def collect(self, requester_machine: int, server_machine: int,
                 vertices: Sequence[int]) -> np.ndarray:
-        """Block for a posted batch's reply; validate and return it."""
+        """Block for a posted batch's reply; validate and return it.
+
+        The wait is a sequence of bounded ``get``s with capped
+        exponential backoff; every expiry re-checks the serving
+        worker's death notice and the fleet stop event, so a dead peer
+        surfaces as :class:`~repro.errors.PeerDeadError` within
+        :data:`LIVENESS_INTERVAL_SECONDS` of the parent noticing it.
+        """
         server_worker = self.endpoints.worker_of(server_machine)
         channel = self.endpoints.replies[(server_worker, self.worker_id)]
         started = perf_counter()
-        try:
-            reply = channel.get(timeout=REPLY_TIMEOUT_SECONDS)
-        except queue_mod.Empty:
-            raise RuntimeError(
-                f"worker {self.worker_id}: no reply from machine "
-                f"{server_machine} (worker {server_worker}) within "
-                f"{REPLY_TIMEOUT_SECONDS:.0f}s"
-            ) from None
+        deadline = started + REPLY_TIMEOUT_SECONDS
+        wait = INITIAL_WAIT_SECONDS
+        while True:
+            remaining = deadline - perf_counter()
+            try:
+                reply = channel.get(timeout=min(wait, max(0.001, remaining)))
+                break
+            except queue_mod.Empty:
+                self.liveness_timeouts += 1
+                if (self.endpoints.peer_dead(server_worker)
+                        or self.endpoints.stopping()):
+                    raise PeerDeadError(
+                        self.worker_id, server_worker, server_machine
+                    ) from None
+                if perf_counter() >= deadline:
+                    raise RuntimeError(
+                        f"worker {self.worker_id}: no reply from machine "
+                        f"{server_machine} (worker {server_worker}) within "
+                        f"{REPLY_TIMEOUT_SECONDS:.0f}s"
+                    ) from None
+                wait = min(wait * 2.0, LIVENESS_INTERVAL_SECONDS)
         self.wait_seconds += perf_counter() - started
         if (reply.server_machine != server_machine
                 or reply.requester_machine != requester_machine):
@@ -193,6 +265,7 @@ class WorkerTransport:
             "wait_seconds": self.wait_seconds,
             "messages": self.requests_posted + self.replies_received,
             "bytes_received": self.bytes_received,
+            "liveness_timeouts": self.liveness_timeouts,
         }
 
     def responder_stats(self) -> dict:

@@ -5,23 +5,31 @@ deterministic view of the cluster (hash partitioning is pure, so every
 worker computes identical partitions), and runs the *unmodified*
 inline execution path — restricted to the machines it hosts (machine
 ``m`` lives on worker ``m % num_workers``) and with the queue
-transport plugged into the scheduler's circulant loop. Reusing
-``KhuzdulEngine._execute_inline`` wholesale is the determinism
-argument in code form: there is no second scheduler implementation
-that could drift from the simulated one.
+transport plugged into the scheduler's circulant loop. Reusing the
+engine's hosted entry point wholesale is the determinism argument in
+code form: there is no second scheduler implementation that could
+drift from the simulated one.
 
 Result protocol on the shared result queue (tag, worker_id, payload):
 
-- ``("result", w, {...})`` — counts, partial report, udf copy,
+- ``(RESULT, w, {...})`` — counts, partial report, udf copy,
   observability dump, requester-side transport stats. Posted when the
   worker's compute loop finishes.
-- ``("stats", w, {...})`` — responder-side transport stats. Posted
+- ``(STATS, w, {...})`` — responder-side transport stats. Posted
   after the shutdown sentinel, because the responder keeps serving
   other workers until every worker is done.
-- ``("error", w, traceback_text)`` — any unexpected failure. Expected
+- ``(PEER_DEAD, w, {...})`` — a bounded transport wait found its
+  serving peer dead (the parent's death notice was set); this worker's
+  compute is lost and the parent applies its ``on_worker_death``
+  policy.
+- ``(ERROR, w, traceback_text)`` — any unexpected failure. Expected
   engine outcomes (OOM / simulated timeout) are *not* errors: the
   inline path already converts them into a structured
   ``FailureSummary`` on the partial report.
+
+Every exit path closes the shared-memory mapping and stops the
+responder thread; the parent is the only side that ever unlinks the
+segments.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ from time import perf_counter
 
 from repro.cluster.cluster import Cluster
 from repro.core.engine import KhuzdulEngine
+from repro.errors import PeerDeadError
+from repro.exec.messages import ERROR, PEER_DEAD, RESULT, STATS
 from repro.exec.transport import WorkerTransport
 from repro.graph.csr import attach_csr
 from repro.obs import Observability
@@ -54,7 +64,7 @@ def worker_main(
     try:
         shared = attach_csr(handle)
     except BaseException:
-        result_queue.put(("error", worker_id, traceback.format_exc()))
+        result_queue.put((ERROR, worker_id, traceback.format_exc()))
         return
     try:
         cluster = Cluster(shared.graph, cluster_config)
@@ -67,7 +77,7 @@ def worker_main(
             if machine % num_workers == worker_id
         }
         started = perf_counter()
-        counts, report = engine._execute_inline(
+        counts, report = engine.execute_hosted(
             schedules, udf, system, app, graph_name,
             hosted=hosted, transport=transport,
         )
@@ -86,12 +96,22 @@ def worker_main(
                 "spans": obs.tracer.spans,
                 "dropped": obs.tracer.dropped,
             }
-        result_queue.put(("result", worker_id, payload))
+        result_queue.put((RESULT, worker_id, payload))
         # keep serving other workers until the parent says everyone is
         # done; only then are the responder-side stats complete
         transport.join()
-        result_queue.put(("stats", worker_id, transport.responder_stats()))
+        result_queue.put((STATS, worker_id, transport.responder_stats()))
+    except PeerDeadError as exc:
+        result_queue.put((PEER_DEAD, worker_id, {
+            "peer": exc.peer_worker,
+            "message": str(exc),
+            "liveness_timeouts": (
+                transport.liveness_timeouts if transport is not None else 0
+            ),
+        }))
     except BaseException:
-        result_queue.put(("error", worker_id, traceback.format_exc()))
+        result_queue.put((ERROR, worker_id, traceback.format_exc()))
     finally:
+        if transport is not None:
+            transport.stop()
         shared.close()

@@ -22,7 +22,13 @@ This package is a leaf layer: it imports only ``repro.errors`` and
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import CrashFault, FaultPlan, StragglerFault
-from repro.faults.recovery import Checkpoint, FailureSummary, Outcome
+from repro.faults.recovery import (
+    Checkpoint,
+    FailureSummary,
+    Outcome,
+    worker_death_event,
+    worker_loss_summary,
+)
 
 __all__ = [
     "Checkpoint",
@@ -32,4 +38,6 @@ __all__ = [
     "FaultPlan",
     "Outcome",
     "StragglerFault",
+    "worker_death_event",
+    "worker_loss_summary",
 ]

@@ -89,6 +89,68 @@ class Checkpoint:
     simulated_seconds: float = 0.0
 
 
+def worker_death_event(
+    worker: int, machines: list[int], reason: str, reexecuted: bool
+) -> dict[str, Any]:
+    """Event-log entry for one real worker-process death.
+
+    Same vocabulary as the simulated ``crash`` events: a dict on
+    ``FailureSummary.events``. ``machines`` are the simulated machines
+    the worker hosted; ``reexecuted`` records whether their work was
+    replayed (the process backend's ``on_worker_death=recover`` path)
+    or lost with the run (``fail``).
+    """
+    return {
+        "kind": "worker_death",
+        "worker": int(worker),
+        "machines": [int(m) for m in machines],
+        "reason": reason,
+        "reexecuted": bool(reexecuted),
+    }
+
+
+def worker_loss_summary(
+    events: list[dict[str, Any]], recovered: bool
+) -> FailureSummary:
+    """The :class:`FailureSummary` for real worker-process deaths.
+
+    ``recovered=True`` (the ``on_worker_death=recover`` policy
+    re-executed every lost worker's hosted machines through the
+    deterministic inline path) yields :data:`Outcome.RECOVERED` with
+    ``partial=False`` — the counts are provably complete, exactly like
+    simulated crash recovery. ``recovered=False`` yields a partial
+    :data:`Outcome.CRASHED` report.
+    """
+    lost = sorted({e["worker"] for e in events})
+    machine_id = None
+    for event in events:
+        if event["machines"]:
+            machine_id = event["machines"][0]
+            break
+    if recovered:
+        return FailureSummary(
+            Outcome.RECOVERED,
+            machine_id=machine_id,
+            message=(
+                f"recovered: worker process(es) {lost} died; their "
+                f"hosted machines were re-executed deterministically; "
+                f"counts are complete"
+            ),
+            partial=False,
+            events=list(events),
+        )
+    reasons = "; ".join(
+        f"worker {e['worker']}: {e['reason']}" for e in events
+    )
+    return FailureSummary(
+        Outcome.CRASHED,
+        machine_id=machine_id,
+        message=f"worker process(es) {lost} died ({reasons})",
+        partial=True,
+        events=list(events),
+    )
+
+
 def split_roots(
     roots: np.ndarray, survivors: list[int]
 ) -> list[tuple[int, np.ndarray]]:

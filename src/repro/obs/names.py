@@ -104,6 +104,10 @@ EXEC_WORKER_WAIT_SECONDS = "exec.worker_wait_seconds"
 EXEC_MESSAGES = "exec.messages"
 EXEC_BYTES_SHIPPED = "exec.bytes_shipped"
 EXEC_QUEUE_DEPTH = "exec.queue_depth"
+EXEC_HEARTBEAT_CHECKS = "exec.heartbeat.checks"
+EXEC_HEARTBEAT_INTERVAL = "exec.heartbeat.interval_seconds"
+EXEC_WORKER_DEATHS = "exec.worker_deaths"
+NET_PEER_TIMEOUTS = "net.peer_timeouts"
 
 # ---------------------------------------------------------------------
 # simulated-time attribution (Figure 15 categories)
@@ -218,6 +222,19 @@ SPECS: dict[str, MetricSpec] = dict(
         _spec(EXEC_QUEUE_DEPTH, "histogram", "messages",
               "docs/execution.md",
               "request-inbox depth sampled at each served fetch"),
+        _spec(EXEC_HEARTBEAT_CHECKS, "counter", "sweeps",
+              "docs/execution.md",
+              "liveness sweeps the parent ran over worker sentinels"),
+        _spec(EXEC_HEARTBEAT_INTERVAL, "gauge", "seconds",
+              "docs/execution.md",
+              "configured parent liveness-check interval"),
+        _spec(EXEC_WORKER_DEATHS, "counter", "processes",
+              "docs/execution.md",
+              "worker processes that died before finishing their job"),
+        _spec(NET_PEER_TIMEOUTS, "counter", "timeouts",
+              "docs/execution.md",
+              "bounded transport waits that expired and re-checked "
+              "peer liveness before a reply arrived"),
         _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
               "simulated seconds charged to computation"),
         _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",

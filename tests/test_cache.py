@@ -105,6 +105,54 @@ def test_mru_evicts_most_recent():
     assert cache.query(2)
 
 
+def test_lru_readmission_refreshes_recency():
+    """Re-admitting a resident vertex is a touch: under LRU it must
+    move to the back of the eviction order, exactly like a query hit
+    (the early-return used to skip the policy update)."""
+    cache = _cache(CachePolicy.LRU, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.admit(1, 100, 9)  # re-admission: 2 is now least recent
+    cache.admit(3, 100, 9)
+    assert cache.query(1)
+    assert not cache.query(2)
+
+
+def test_mru_readmission_refreshes_recency():
+    cache = _cache(CachePolicy.MRU, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.admit(1, 100, 9)  # 1 becomes most recent → next victim
+    cache.admit(3, 100, 9)
+    assert not cache.query(1)
+    assert cache.query(2)
+
+
+def test_fifo_readmission_keeps_insertion_order():
+    """FIFO ignores touches: a re-admission must not reset age."""
+    cache = _cache(CachePolicy.FIFO, capacity=200)
+    cache.admit(1, 100, 9)
+    cache.admit(2, 100, 9)
+    cache.admit(1, 100, 9)  # no-op for FIFO
+    cache.admit(3, 100, 9)
+    assert not cache.query(1)  # 1 is still the oldest insert
+    assert cache.query(2)
+
+
+def test_lru_readmission_charges_policy_update():
+    cost = CostModel()
+    cache = EdgeCache(10_000, 0, CachePolicy.LRU, cost)
+    cache.admit(1, 100, degree=10)
+    cache.drain_cost()
+    cache.admit(1, 100, degree=10)  # recency bookkeeping is not free
+    assert cache.drain_cost() == pytest.approx(cost.cache_policy_update)
+    static = EdgeCache(10_000, 0, CachePolicy.STATIC, cost)
+    static.admit(1, 100, degree=10)
+    static.drain_cost()
+    static.admit(1, 100, degree=10)  # static order never changes
+    assert static.drain_cost() == 0.0
+
+
 def test_oversized_entry_rejected():
     cache = _cache(CachePolicy.LRU, capacity=100)
     assert not cache.admit(1, 500, degree=9)

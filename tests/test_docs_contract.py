@@ -16,8 +16,9 @@ from repro.obs.tracer import PHASE_ATTRS
 
 DOCS = Path(__file__).parent.parent / "docs" / "metrics.md"
 
-#: metric names as they appear in the reference table rows
-_ROW_NAME = re.compile(r"^\|\s*`([a-z]+\.[a-z_0-9]+)`\s*\|")
+#: metric names as they appear in the reference table rows (one or
+#: more dotted segments after the family, e.g. exec.heartbeat.checks)
+_ROW_NAME = re.compile(r"^\|\s*`([a-z]+(?:\.[a-z_0-9]+)+)`\s*\|")
 #: span names documented in the trace-span table
 _SPAN_ROW = re.compile(r"^\|\s*`([a-z_]+)`\s*\|")
 

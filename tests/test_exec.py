@@ -8,6 +8,9 @@ compute. Run alone via ``make exec-check``.
 """
 
 import multiprocessing
+import os
+import queue
+import threading
 import time
 
 import numpy as np
@@ -15,8 +18,10 @@ import pytest
 
 from repro.cluster import ClusterConfig
 from repro.core import EngineConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PeerDeadError
 from repro.exec import BACKENDS, InlineBackend, ProcessBackend, make_backend
+from repro.exec.transport import Endpoints, WorkerTransport
+from repro.exec.worker import worker_main
 from repro.faults import FaultPlan
 from repro.graph import dataset
 from repro.graph.generators import erdos_renyi
@@ -174,10 +179,12 @@ def test_metrics_merge_matches_inline():
     report = proc.count_pattern(catalog.clique(3))
 
     def counters(obs):
+        # exec.* and net.peer_timeouts measure wall-clock execution,
+        # which only the process backend has
         return {
             (name, labels): value
             for name, labels, value in obs.registry.dump()["counters"]
-            if not name.startswith("exec.")
+            if not name.startswith("exec.") and name != "net.peer_timeouts"
         }
 
     assert counters(obs_proc) == pytest.approx(counters(obs_inline))
@@ -227,3 +234,164 @@ def test_cli_process_backend(capsys):
     assert "backend=process" in out
     assert "count=" in out
     _assert_no_stray_children()
+
+
+def test_backend_liveness_configuration():
+    backend = make_backend("process", workers=2, heartbeat=0.25,
+                           on_worker_death="recover")
+    assert backend.heartbeat == 0.25
+    assert backend.on_worker_death == "recover"
+    with pytest.raises(ConfigurationError, match="heartbeat"):
+        ProcessBackend(heartbeat=0.0)
+    with pytest.raises(ConfigurationError, match="on_worker_death"):
+        ProcessBackend(on_worker_death="shrug")
+
+
+# ======================================================================
+# worker death — liveness detection, fail-fast, lost-worker recovery
+# (marked exec_faults so `make exec-faults-check` runs them alone)
+# ======================================================================
+exec_faults = pytest.mark.exec_faults
+
+_FORK_ONLY = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="killing one specific worker relies on the fork start method "
+           "(the child must inherit the monkeypatched entry point)",
+)
+
+
+def _murdered_worker_main(worker_id, *args, **kwargs):
+    """Drop-in worker entry point that hard-kills worker 1 on entry —
+    ``os._exit`` skips every cleanup path, like a SIGKILL mid-compute."""
+    if worker_id == 1:
+        os._exit(137)
+    return worker_main(worker_id, *args, **kwargs)
+
+
+@exec_faults
+@_FORK_ONLY
+def test_worker_death_fails_fast_with_structured_report(monkeypatch):
+    monkeypatch.setattr("repro.exec.process.worker_main",
+                        _murdered_worker_main)
+    graph = _mico()
+    backend = ProcessBackend(workers=2, start_method="fork", heartbeat=0.2)
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico", backend=backend)
+    started = time.monotonic()
+    report = proc.count_pattern(catalog.clique(3))
+    # bounded detection: nowhere near the backend's 600s message budget
+    assert time.monotonic() - started < 60.0
+    failure = report.failure
+    assert failure is not None
+    assert failure.outcome.value == "CRASHED"
+    assert failure.partial
+    assert "137" in failure.message  # the exit code is surfaced
+    deaths = [e for e in failure.events if e["kind"] == "worker_death"]
+    assert any(
+        e["worker"] == 1 and e["machines"] == [1, 3]
+        and not e["reexecuted"] for e in deaths
+    )
+    exec_extra = report.extra["exec"]
+    assert exec_extra["on_worker_death"] == "fail"
+    assert exec_extra["worker_deaths"] >= 1
+    assert exec_extra["heartbeat_checks"] >= 1
+    _assert_no_stray_children()
+
+
+@exec_faults
+@_FORK_ONLY
+def test_worker_death_recovery_matches_inline(monkeypatch):
+    graph = _mico()
+    inline = KAutomine(graph, _CLUSTER, graph_name="mico")
+    expected = inline.count_pattern(catalog.clique(3))
+    monkeypatch.setattr("repro.exec.process.worker_main",
+                        _murdered_worker_main)
+    backend = ProcessBackend(workers=2, start_method="fork", heartbeat=0.2,
+                             on_worker_death="recover")
+    proc = KAutomine(graph, _CLUSTER, graph_name="mico", backend=backend)
+    started = time.monotonic()
+    report = proc.count_pattern(catalog.clique(3))
+    assert time.monotonic() - started < 120.0
+    # the lost workers' hosted machines were replayed through the
+    # deterministic inline path, so the counts are *complete*
+    assert report.counts == expected.counts
+    assert report.simulated_seconds == expected.simulated_seconds
+    failure = report.failure
+    assert failure is not None
+    assert failure.outcome.value == "RECOVERED"
+    assert not failure.partial
+    deaths = [e for e in failure.events if e["kind"] == "worker_death"]
+    assert {e["worker"] for e in deaths} >= {1}
+    assert all(e["reexecuted"] for e in deaths)
+    assert report.extra["exec"]["worker_deaths"] >= 1
+    _assert_no_stray_children()
+
+
+@exec_faults
+def test_transport_collect_aborts_on_dead_peer():
+    graph = erdos_renyi(30, 120, seed=1)
+    endpoints = Endpoints(
+        num_workers=2,
+        inboxes=[queue.Queue(), queue.Queue()],
+        replies={(s, r): queue.Queue()
+                 for s in range(2) for r in range(2)},
+        deaths=[threading.Event(), threading.Event()],
+        stop=threading.Event(),
+    )
+    transport = WorkerTransport(0, endpoints, graph)
+    endpoints.deaths[1].set()  # the parent's watcher: worker 1 is dead
+    started = time.monotonic()
+    with pytest.raises(PeerDeadError) as excinfo:
+        transport.collect(0, 1, [0, 1])
+    # one bounded wait, not the 300s reply budget
+    assert time.monotonic() - started < 5.0
+    assert excinfo.value.peer_worker == 1
+    assert excinfo.value.server_machine == 1
+    assert transport.liveness_timeouts >= 1
+
+
+@exec_faults
+def test_transport_collect_aborts_on_fleet_stop():
+    graph = erdos_renyi(30, 120, seed=1)
+    endpoints = Endpoints(
+        num_workers=2,
+        inboxes=[queue.Queue(), queue.Queue()],
+        replies={(s, r): queue.Queue()
+                 for s in range(2) for r in range(2)},
+        deaths=[threading.Event(), threading.Event()],
+        stop=threading.Event(),
+    )
+    transport = WorkerTransport(0, endpoints, graph)
+    endpoints.stop.set()
+    with pytest.raises(PeerDeadError):
+        transport.collect(0, 1, [0])
+
+
+@exec_faults
+def test_transport_join_unblocks_without_shutdown():
+    graph = erdos_renyi(30, 120, seed=1)
+    endpoints = Endpoints(
+        num_workers=1,
+        inboxes=[queue.Queue()],
+        replies={(0, 0): queue.Queue()},
+        stop=threading.Event(),
+    )
+    transport = WorkerTransport(0, endpoints, graph)
+    transport.start()
+    # SHUTDOWN never arrives (its sender "died"); the fleet stop signal
+    # alone must end the serve loop, so join() cannot hang
+    endpoints.stop.set()
+    assert transport.join(timeout=5.0)
+
+
+@exec_faults
+def test_transport_stop_unblocks_without_shutdown():
+    graph = erdos_renyi(30, 120, seed=1)
+    endpoints = Endpoints(
+        num_workers=1,
+        inboxes=[queue.Queue()],
+        replies={(0, 0): queue.Queue()},
+    )
+    transport = WorkerTransport(0, endpoints, graph)
+    transport.start()
+    transport.stop()  # the worker's own finally-block escape hatch
+    assert transport.join(timeout=5.0)
