@@ -12,10 +12,11 @@ TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && ech
 
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest $(TIMEOUT_FLAGS)
 
-.PHONY: test suite docs-check faults-check exec-check exec-faults-check bench
+.PHONY: test suite docs-check faults-check exec-check exec-faults-check \
+	perf-check perf-bench bench
 
-## tier-1: full suite, then the docs/fault/backend contracts
-test: suite docs-check faults-check exec-check exec-faults-check
+## tier-1: full suite, then the docs/fault/backend/perf contracts
+test: suite docs-check faults-check exec-check exec-faults-check perf-check
 
 suite:
 	$(PYTEST) -x -q
@@ -36,6 +37,19 @@ exec-check:
 ## "Real-process failure semantics") — kills real worker processes
 exec-faults-check:
 	$(PYTEST) -m exec_faults -q
+
+## batched-kernel perf smoke: tiny graphs, asserts the batched EXTEND
+## path never loses to the scalar reference and counts agree
+## (docs/performance.md)
+perf-check:
+	PYTHONPATH=src:. $(PYTHON) -m pytest $(TIMEOUT_FLAGS) \
+		benchmarks/bench_wallclock.py -q
+
+## full wall-clock sweep over the bundled datasets; writes
+## BENCH_PR5.json (the >=3x wdc-triangle headline lives there)
+perf-bench:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_wallclock.py \
+		--out BENCH_PR5.json
 
 ## paper-figure benchmark suite (slow)
 bench:

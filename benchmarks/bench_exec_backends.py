@@ -18,7 +18,6 @@ for no parallel gain, and the JSON records exactly that.
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 from time import perf_counter
@@ -29,7 +28,7 @@ from repro.graph import dataset
 from repro.patterns import catalog
 from repro.systems import KAutomine
 
-from benchmarks.conftest import SCALE, run_once
+from benchmarks.conftest import SCALE, emit_json, run_once
 
 _WORKER_COUNTS = (2, 4)
 _CONFIGS = (
@@ -89,11 +88,7 @@ def _compare_backends() -> dict:
 
 def test_exec_backend_wall_clock(benchmark):
     result = run_once(benchmark, _compare_backends)
-    document = json.dumps(result, indent=2)
-    print()
-    print(document)
-    _OUT.parent.mkdir(exist_ok=True)
-    _OUT.write_text(document + "\n")
+    emit_json(result, _OUT)
     assert result["rows"]
     for row in result["rows"]:
         assert row["process"], "no process-backend measurements recorded"

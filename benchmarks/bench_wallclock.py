@@ -1,0 +1,201 @@
+"""Wall-clock benchmark of the batched EXTEND kernels (docs/performance.md).
+
+Every other benchmark here reports *simulated* time; this one (like
+``bench_exec_backends``) measures real seconds. The batched kernel path
+(``EngineConfig(extend_mode="batched")``, the default) and the scalar
+reference path produce bit-identical counts and simulated measurements
+by contract, so the only open question is throughput — this bench runs
+triangle, 4-clique, and 5-path counting under both modes (and
+optionally under the process backend), asserts the counts match, and
+emits one JSON document with the measured wall seconds and speedups.
+
+Two entry points:
+
+- ``pytest benchmarks/bench_wallclock.py`` — the smoke variant
+  (tiny graphs, what ``make perf-check`` runs in CI): asserts the
+  batched path is at least as fast as scalar and counts agree.
+- ``python benchmarks/bench_wallclock.py --out BENCH_PR5.json`` — the
+  full sweep over the bundled dataset analogues, including the largest
+  (wdc) where the headline requirement is a >= 3x batched-over-scalar
+  speedup on triangle counting. ``--smoke`` shrinks it to the CI set.
+
+Each (config, mode) pair is timed best-of-``--repeats`` end-to-end
+``count_pattern`` runs on a fresh system, so graph-side lazy caches
+(degrees, adjacency bitmap) warm up exactly once per process the same
+way for both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+from time import perf_counter
+from typing import Optional
+
+from repro.cluster import ClusterConfig
+from repro.core import EngineConfig
+from repro.exec import ProcessBackend
+from repro.graph import dataset
+from repro.patterns import catalog
+from repro.systems import KAutomine
+
+from benchmarks.conftest import BENCH_DIR, SCALE, emit_json, run_once
+
+#: (graph, scale, pattern spec) — the full sweep; wdc/clique3 is the
+#: headline row (largest bundled dataset, triangle counting)
+_FULL_CONFIGS = (
+    ("wdc", 1.0, "clique3"),
+    ("livejournal", 1.0, "clique3"),
+    ("mico", 1.0, "clique3"),
+    ("mico", 1.0, "clique4"),
+    ("livejournal", 0.5, "clique4"),
+    ("mico", 0.5, "chain5"),
+)
+#: the CI smoke set: one intersection-heavy and one multi-level pattern
+_SMOKE_CONFIGS = (
+    ("mico", 0.3, "clique3"),
+    ("mico", 0.3, "clique4"),
+)
+#: process-backend worker counts for the inline-vs-process rows
+_WORKER_COUNTS = (4,)
+_OUT = BENCH_DIR / "wallclock.json"
+
+
+def _pattern(spec: str):
+    """``clique3``/``chain5``-style spec -> catalog pattern."""
+    return getattr(catalog, spec[:-1])(int(spec[-1]))
+
+
+def _time_run(graph, graph_name, pattern, mode, backend=None, repeats=3):
+    """Best-of-``repeats`` wall seconds of one full counting run."""
+    best = None
+    report = None
+    for _ in range(repeats):
+        system = KAutomine(
+            graph,
+            ClusterConfig(num_machines=8),
+            EngineConfig(extend_mode=mode),
+            graph_name=graph_name,
+            backend=backend,
+        )
+        started = perf_counter()
+        report = system.count_pattern(pattern)
+        elapsed = perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, report
+
+
+def measure(
+    configs,
+    repeats: int = 3,
+    worker_counts: tuple[int, ...] = (),
+) -> dict:
+    """Time every config under scalar and batched EXTEND (and the
+    process backend when ``worker_counts`` is non-empty)."""
+    rows = []
+    for graph_name, scale, pattern_spec in configs:
+        graph = dataset(graph_name, scale=scale * SCALE)
+        pattern = _pattern(pattern_spec)
+        scalar_wall, scalar_report = _time_run(
+            graph, graph_name, pattern, "scalar", repeats=repeats
+        )
+        batched_wall, batched_report = _time_run(
+            graph, graph_name, pattern, "batched", repeats=repeats
+        )
+        assert batched_report.counts == scalar_report.counts, (
+            f"extend-mode divergence on {graph_name}/{pattern_spec}: "
+            f"{batched_report.counts} != {scalar_report.counts}"
+        )
+        assert (
+            batched_report.simulated_seconds
+            == scalar_report.simulated_seconds
+        ), f"simulated-time divergence on {graph_name}/{pattern_spec}"
+        row = {
+            "graph": graph_name,
+            "scale": scale * SCALE,
+            "pattern": pattern_spec,
+            "count": scalar_report.counts,
+            "simulated_seconds": scalar_report.simulated_seconds,
+            "scalar_wall_seconds": scalar_wall,
+            "batched_wall_seconds": batched_wall,
+            "speedup_batched_over_scalar": (
+                scalar_wall / batched_wall if batched_wall else 0.0
+            ),
+        }
+        process = {}
+        for workers in worker_counts:
+            wall, report = _time_run(
+                graph, graph_name, pattern, "batched",
+                backend=ProcessBackend(workers=workers), repeats=repeats,
+            )
+            assert report.counts == scalar_report.counts, (
+                f"backend divergence on {graph_name}/{pattern_spec}: "
+                f"{report.counts} != {scalar_report.counts}"
+            )
+            process[str(workers)] = {
+                "wall_seconds": wall,
+                "speedup_over_inline": (
+                    batched_wall / wall if wall else 0.0
+                ),
+            }
+        if process:
+            row["process"] = process
+        rows.append(row)
+    return {
+        "bench": "wallclock_extend",
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "rows": rows,
+    }
+
+
+def test_wallclock_smoke(benchmark):
+    """The ``make perf-check`` gate: on the tiny smoke configs the
+    batched kernels must not lose to the scalar reference, and both
+    must agree exactly (counts are also cross-checked against the
+    process backend inside :func:`measure`)."""
+    result = run_once(
+        benchmark, lambda: measure(_SMOKE_CONFIGS, repeats=3)
+    )
+    emit_json(result, _OUT)
+    assert result["rows"]
+    for row in result["rows"]:
+        assert row["batched_wall_seconds"] <= row["scalar_wall_seconds"], (
+            f"batched EXTEND slower than scalar on "
+            f"{row['graph']}/{row['pattern']}: "
+            f"{row['batched_wall_seconds']:.4f}s vs "
+            f"{row['scalar_wall_seconds']:.4f}s"
+        )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wall-clock bench of batched vs scalar EXTEND"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the tiny CI config set instead of the full sweep",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per (config, mode); best is reported (default 3)",
+    )
+    parser.add_argument(
+        "--no-process", action="store_true",
+        help="skip the process-backend rows",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=_OUT,
+        help=f"output JSON path (default {_OUT})",
+    )
+    args = parser.parse_args(argv)
+    configs = _SMOKE_CONFIGS if args.smoke else _FULL_CONFIGS
+    workers = () if args.no_process else _WORKER_COUNTS
+    result = measure(configs, repeats=args.repeats, worker_counts=workers)
+    emit_json(result, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

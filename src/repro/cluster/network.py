@@ -122,6 +122,36 @@ class NetworkModel:
             server.served_requests += 1
         return header + payload_bytes
 
+    def record_fetch_batch(
+        self,
+        requester: int,
+        owner: int,
+        payloads: list[int],
+        server: MachineState | None = None,
+    ) -> int:
+        """Integer-exact fold of :meth:`record_fetch` over one owner
+        batch; returns the summed payload bytes.
+
+        Only valid without a fault injector attached — injected
+        transient failures are per-attempt state, and their partial
+        effects must interleave with the caller's per-fetch bookkeeping
+        exactly as the one-at-a-time path does.
+        """
+        assert self.injector is None, "bulk recording skips retry state"
+        header = self.cost.request_header_bytes
+        n = len(payloads)
+        payload_total = sum(payloads)
+        self.traffic_bytes[requester, owner] += header * n
+        self.traffic_bytes[owner, requester] += payload_total
+        self.request_counts[requester, owner] += n
+        self._m_requests.inc(n)
+        self._m_payload.inc(payload_total)
+        self._m_wire.inc(header * n + payload_total)
+        if server is not None:
+            server.served_bytes += payload_total
+            server.served_requests += n
+        return payload_total
+
     def batch_time(self, payload_bytes: int, num_requests: int) -> float:
         """Wire time of one communication batch (Section 4.3).
 

@@ -20,7 +20,7 @@ from repro.cluster.cluster import Cluster
 from repro.core.cache import CachePolicy, EdgeCache
 from repro.core.extend import ScheduleExtender
 from repro.core.runtime import RunReport
-from repro.core.scheduler import MachineScheduler, Udf
+from repro.core.scheduler import NULL_UDF, MachineScheduler, Udf
 from repro.errors import (
     ConfigurationError,
     FetchFailedError,
@@ -66,6 +66,11 @@ class EngineConfig:
     cache_policy: CachePolicy = CachePolicy.STATIC
     cache_degree_threshold: int = 16
     numa_aware: bool = True
+    #: EXTEND implementation: "batched" runs whole chunks through the
+    #: vectorized kernels (repro.core.kernels, docs/performance.md),
+    #: "scalar" keeps the per-embedding reference path. Counts and all
+    #: simulated measurements are bit-identical either way.
+    extend_mode: str = "batched"
     #: simulated-seconds budget per machine; None = no timeout
     time_budget: Optional[float] = None
     #: injected faults for this engine's runs (docs/faults.md);
@@ -80,6 +85,11 @@ class EngineConfig:
             raise ConfigurationError("chunk_bytes must be at least 1KiB")
         if not 0.0 <= self.cache_fraction <= 1.0:
             raise ConfigurationError("cache_fraction must be within [0, 1]")
+        if self.extend_mode not in ("batched", "scalar"):
+            raise ConfigurationError(
+                "extend_mode must be 'batched' or 'scalar', "
+                f"got {self.extend_mode!r}"
+            )
 
     @staticmethod
     def memory_headroom_bytes(memory_bytes: int, levels: int) -> int:
@@ -384,6 +394,7 @@ class KhuzdulEngine:
                         obs=obs,
                         faults=injector,
                         transport=transport,
+                        batched_extend=(config.extend_mode == "batched"),
                     )
                     try:
                         shard_matches = scheduler.run(shard.roots)
@@ -654,8 +665,10 @@ class _Shard:
     recovery: bool = False
 
 
-def _NULL_UDF(prefix: tuple[int, ...], candidates: np.ndarray) -> None:
-    """Default UDF: counting only (the scheduler tracks match totals)."""
+#: Default UDF: counting only. The sentinel lives in the scheduler
+#: module (it recognizes it by identity for the count-only fast path);
+#: this alias keeps the engine's historical name working.
+_NULL_UDF = NULL_UDF
 
 
 def _bind_udf(udf: MultiUdf, index: int) -> Udf:

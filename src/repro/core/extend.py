@@ -22,6 +22,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core import kernels
 from repro.graph.graph import Graph
 from repro.obs import names
 from repro.obs.metrics import MetricsScope, scope_or_null
@@ -99,8 +100,13 @@ def compute_candidates(
         candidates = np.setdiff1d(candidates, other, assume_unique=True)
 
     if len(candidates):
-        # distinct-vertex constraint: drop already-used data vertices
-        candidates = candidates[~np.isin(candidates, vertices)]
+        # distinct-vertex constraint: drop already-used data vertices.
+        # Patterns have at most a handful of vertices, so a few !=
+        # passes beat np.isin's hash/sort machinery
+        mask = candidates != vertices[0]
+        for used in vertices[1:]:
+            mask &= candidates != used
+        candidates = candidates[mask]
     if step.larger_than and len(candidates):
         bound = max(vertices[j] for j in step.larger_than)
         candidates = candidates[candidates > bound]
@@ -167,16 +173,21 @@ class ScheduleExtender:
     ):
         self.schedule = schedule
         self.vcs = vcs
-        scope = scope_or_null(metrics)
-        self._m_calls = scope.counter(names.EXTEND_CALLS)
-        self._m_merge = scope.counter(names.EXTEND_MERGE_ELEMENTS)
-        self._m_candidates = scope.counter(names.EXTEND_CANDIDATES)
+        self.bind_metrics(scope_or_null(metrics))
 
     def bind_metrics(self, metrics: MetricsScope) -> None:
-        """Re-bind the ``extend.*`` counters (e.g. to a machine scope)."""
+        """(Re-)bind the ``extend.*``/``kernel.*`` counters."""
         self._m_calls = metrics.counter(names.EXTEND_CALLS)
         self._m_merge = metrics.counter(names.EXTEND_MERGE_ELEMENTS)
         self._m_candidates = metrics.counter(names.EXTEND_CANDIDATES)
+        self._m_k_batches = metrics.counter(names.KERNEL_BATCHES)
+        self._m_k_embeddings = metrics.counter(
+            names.KERNEL_BATCHED_EMBEDDINGS
+        )
+        self._m_k_probe = metrics.counter(names.KERNEL_PROBE_ELEMENTS)
+        self._m_k_count_only = metrics.counter(
+            names.KERNEL_COUNT_ONLY_BATCHES
+        )
 
     @property
     def num_levels(self) -> int:
@@ -212,3 +223,85 @@ class ScheduleExtender:
         self._m_merge.inc(result.merge_elements)
         self._m_candidates.inc(len(result.candidates))
         return result
+
+    # ------------------------------------------------------------------
+    # batched path (repro.core.kernels, docs/performance.md)
+    # ------------------------------------------------------------------
+    def extend_chunk(
+        self,
+        graph: Graph,
+        items: list,
+        level: int,
+        count_only: bool = False,
+    ) -> kernels.ChunkExtendResult:
+        """Extend a whole chunk of same-level embeddings in one batch.
+
+        Produces per-embedding results element-identical to calling
+        :meth:`extend_level` on each item. ``extend.*`` metrics are NOT
+        emitted here — the scheduler consumes the batch one embedding
+        at a time (possibly pausing mid-chunk), so per-embedding
+        accounting happens at consumption time
+        (:meth:`take_batch_result` / :meth:`account_count_only`),
+        keeping partial runs bit-identical to the scalar path. Only the
+        batched-only ``kernel.*`` counters are emitted here.
+        """
+        step = self.step_for(level)
+        n = len(items)
+        prefixes = np.empty((n, level), dtype=np.int64)
+        nodes = items
+        for column in range(level - 1, -1, -1):
+            prefixes[:, column] = [node.vertex for node in nodes]
+            if column:
+                nodes = [node.parent for node in nodes]
+        intermediates = None
+        if self.vcs and step.reuse_level is not None:
+            reuse = step.reuse_level
+            intermediates = [emb.intermediate_at(reuse) for emb in items]
+        batch = kernels.extend_chunk(
+            graph, step, prefixes, intermediates,
+            vcs=self.vcs, count_only=count_only,
+        )
+        self._m_k_batches.inc()
+        self._m_k_embeddings.inc(n)
+        self._m_k_probe.inc(batch.probe_elements)
+        if count_only:
+            self._m_k_count_only.inc()
+        return batch
+
+    def take_batch_result(
+        self, batch: kernels.ChunkExtendResult, index: int
+    ) -> ExtendResult:
+        """Materialize embedding ``index``'s slice of a batch.
+
+        The per-embedding analogue of :meth:`extend_level`'s return —
+        including the ``extend.*`` metric increments, deferred to this
+        consumption point so a run cut short mid-chunk reports the same
+        totals as the scalar path.
+        """
+        candidates = batch.candidates_for(index)
+        raw = None
+        if batch.step.store_intermediate:
+            raw = batch.raw_for(index)
+        result = ExtendResult(
+            candidates=candidates if len(candidates) else _EMPTY,
+            raw=raw,
+            merge_elements=int(batch.merge_elements[index]),
+            scanned=int(batch.scanned[index]),
+        )
+        self._m_calls.inc()
+        self._m_merge.inc(result.merge_elements)
+        self._m_candidates.inc(len(result.candidates))
+        return result
+
+    def account_count_only(
+        self, calls: int, merge_elements: int, candidates: int
+    ) -> None:
+        """``extend.*`` increments for count-only-drained embeddings.
+
+        Takes whole-chunk integer tallies: integer counter folds are
+        exact, so one bump per drained chunk reports the same totals as
+        the scalar path's per-embedding increments.
+        """
+        self._m_calls.inc(calls)
+        self._m_merge.inc(merge_elements)
+        self._m_candidates.inc(candidates)

@@ -49,6 +49,17 @@ from repro.obs import NULL_OBS, Observability, Span, names
 Udf = Callable[[tuple[int, ...], np.ndarray], None]
 
 
+def NULL_UDF(prefix: tuple[int, ...], candidates: np.ndarray) -> None:
+    """Counting-only UDF: match totals are tallied by the scheduler.
+
+    A sentinel, not just a no-op — the scheduler recognizes it by
+    identity and drains final-level chunks through the count-only
+    kernel fast path (candidate counts without materialized arrays,
+    docs/performance.md), which is only sound when nobody consumes the
+    candidate values.
+    """
+
+
 class _LevelState:
     """One level of the DFS stack: a resolved chunk plus its accounting."""
 
@@ -57,6 +68,7 @@ class _LevelState:
         "chunk_id",
         "cursor",
         "resume",
+        "batch",
         "comm_times",
         "batch_sizes",
         "compute_serial",
@@ -70,10 +82,14 @@ class _LevelState:
         #: per-scheduler chunk sequence number (span attribution key)
         self.chunk_id = chunk_id
         self.cursor = 0
-        #: mid-embedding continuation: (parent, ExtendResult, next index).
+        #: mid-embedding continuation:
+        #: (parent, ExtendResult, candidate list, next index).
         #: The paper pauses a level as soon as the next level's memory is
         #: full — possibly in the middle of one embedding's extension.
         self.resume = None
+        #: lazily-computed ChunkExtendResult of the batched kernel path
+        #: (None until the first extension touches this chunk)
+        self.batch = None
         self.comm_times: list[float] = [0.0]  # batch 0 = local/no-fetch
         self.batch_sizes: list[int] = [0]
         self.compute_serial = 0.0
@@ -109,13 +125,28 @@ class MachineScheduler:
         obs: Optional[Observability] = None,
         faults: Optional[FaultInjector] = None,
         transport=None,
+        batched_extend: bool = True,
     ):
         self.cluster = cluster
         self.machine = machine
         self.graph = cluster.graph
+        #: plain-int views of per-vertex accounting quantities; the hot
+        #: loops below touch them once per child/fetch, where a method
+        #: call plus numpy scalar boxing per lookup is measurable
+        self._edge_bytes: list[int] = (
+            self.graph.edge_list_bytes_all().tolist()
+        )
+        self._vertex_degrees: list[int] = self.graph.degrees().tolist()
+        self._vertex_owner: list[int] = (
+            cluster.partitioned.owners_all().tolist()
+        )
         self.extender = extender
         self.cache = cache
         self.udf = udf
+        #: vectorized chunk-at-a-time EXTEND (repro.core.kernels) vs the
+        #: scalar per-embedding reference path; counts and all simulated
+        #: measurements are bit-identical either way (tests/test_kernels.py)
+        self.batched_extend = batched_extend
         self.chunk_bytes = chunk_bytes
         self.hds_enabled = hds_enabled
         self.vcs_enabled = vcs_enabled
@@ -310,12 +341,31 @@ class MachineScheduler:
     # ------------------------------------------------------------------
     # extension
     # ------------------------------------------------------------------
+    def _ensure_batch(
+        self, state: _LevelState, level: int, count_only: bool
+    ):
+        """The chunk's vectorized extension, computed on first touch.
+
+        Lazy on purpose: a chunk that is registered but never consumed
+        (crash trigger, timeout) must not pay — or meter — any
+        extension work, exactly like the scalar path.
+        """
+        if state.batch is None:
+            state.batch = self.extender.extend_chunk(
+                self.graph, state.chunk.items, level, count_only=count_only
+            )
+        return state.batch
+
     def _extend_one(
         self, state: _LevelState, emb: ExtendableEmbedding, level: int
     ):
-        result = self.extender.extend_level(
-            self.graph, emb.vertices(), level, emb.intermediate_at
-        )
+        if self.batched_extend:
+            batch = self._ensure_batch(state, level, count_only=False)
+            result = self.extender.take_batch_result(batch, state.cursor - 1)
+        else:
+            result = self.extender.extend_level(
+                self.graph, emb.vertices(), level, emb.intermediate_at
+            )
         state.compute_serial += (
             result.merge_elements * self.cost.intersect_per_element
             + result.scanned * self.cost.emit_per_candidate
@@ -331,6 +381,10 @@ class MachineScheduler:
         chunk = Chunk(child_level, self.chunk_bytes, self.machine,
                       preallocate=True)
         items = state.chunk.items
+        ebytes = self._edge_bytes
+        embedding_create = self.cost.embedding_create
+        task_schedule = self.cost.task_schedule
+        chunk_add = chunk.add
         while not chunk.full:
             if state.resume is None:
                 if state.cursor >= len(items):
@@ -338,32 +392,31 @@ class MachineScheduler:
                 emb = items[state.cursor]
                 state.cursor += 1
                 result = self._extend_one(state, emb, child_level)
-                state.resume = (emb, result, 0)
-            emb, result, index = state.resume
+                state.resume = (emb, result, result.candidates.tolist(), 0)
+            emb, result, candidates, index = state.resume
             raw = result.raw if self.vcs_enabled else None
             raw_bytes = 4 * len(raw) if raw is not None else 0
-            while index < len(result.candidates) and not chunk.full:
-                v = result.candidates[index]
+            num_candidates = len(candidates)
+            while index < num_candidates and not chunk.full:
+                v = candidates[index]
                 index += 1
-                child = ExtendableEmbedding(int(v), child_level, emb, needs_fetch)
-                chunk.add(child)
+                child = ExtendableEmbedding(v, child_level, emb, needs_fetch)
                 if needs_fetch:
                     # reserve space for the (possibly) fetched edge list
                     # up front so the chunk's fixed memory budget covers
                     # its contents (Section 4.2); refunded at resolve
                     # time if the list is shared, cached, or local
-                    chunk.charge_extra(
-                        child, self.graph.edge_list_bytes(int(v))
-                    )
+                    child.stored_bytes += ebytes[v]
                 if raw is not None:
                     child.intermediate = raw
-                    chunk.charge_extra(child, raw_bytes)
-                state.compute_serial += self.cost.embedding_create
-                state.scheduler_serial += self.cost.task_schedule
-            if index < len(result.candidates):
+                    child.stored_bytes += raw_bytes
+                chunk_add(child)
+                state.compute_serial += embedding_create
+                state.scheduler_serial += task_schedule
+            if index < num_candidates:
                 # next-level memory is full mid-embedding: pause here and
                 # resume after the subtree below this chunk is explored
-                state.resume = (emb, result, index)
+                state.resume = (emb, result, candidates, index)
             else:
                 emb.mark_zombie()
                 state.resume = None
@@ -375,6 +428,9 @@ class MachineScheduler:
     def _drain_final(self, state: _LevelState) -> None:
         """Last extension level: completed embeddings go to the UDF."""
         final_level = self.extender.final_level
+        if self.batched_extend and self.udf is NULL_UDF:
+            self._drain_final_counts(state, final_level)
+            return
         items = state.chunk.items
         while state.cursor < len(items):
             emb = items[state.cursor]
@@ -389,6 +445,42 @@ class MachineScheduler:
                 )
             emb.mark_zombie()
 
+    def _drain_final_counts(self, state: _LevelState, level: int) -> None:
+        """Count-only final drain: nobody reads the candidate values
+        (the UDF is the counting sentinel), so the kernel only produces
+        per-embedding candidate *counts* — no filtered arrays are ever
+        materialized. The accounting below repeats the scalar drain
+        term for term (same expressions, same order, Python ints), so
+        every simulated measurement stays bit-identical."""
+        batch = self._ensure_batch(state, level, count_only=True)
+        items = state.chunk.items
+        intersect = self.cost.intersect_per_element
+        emit = self.cost.emit_per_candidate
+        merges = batch.merge_elements.tolist()
+        scans = batch.scanned.tolist()
+        counts = batch.counts.tolist()
+        compute_serial = state.compute_serial
+        processed = total_merge = total_count = 0
+        while state.cursor < len(items):
+            index = state.cursor
+            state.cursor += 1
+            merge = merges[index]
+            count = counts[index]
+            processed += 1
+            total_merge += merge
+            compute_serial += merge * intersect + scans[index] * emit
+            if count:
+                total_count += count
+                compute_serial += count * emit
+            items[index].mark_zombie()
+        state.compute_serial = compute_serial
+        # integer tallies fold exactly, so the counters can be bumped
+        # once for the whole drained chunk
+        self.extender.account_count_only(processed, total_merge, total_count)
+        if total_count:
+            self.matches += total_count
+            self._m_matches.inc(total_count)
+
     # ------------------------------------------------------------------
     # communication resolution (circulant scheduling, Section 4.3)
     # ------------------------------------------------------------------
@@ -400,44 +492,69 @@ class MachineScheduler:
         chain_steps_before = self.hds.chain_steps
         cache_ops = 0.0
 
-        # group pending fetches by owner machine
+        # group pending fetches by owner machine; sources tallied in
+        # plain locals and folded into the dicts/counters once after the
+        # loop (same totals, no per-embedding dict hashing)
         groups: dict[int, list[ExtendableEmbedding]] = {}
         local_count = 0
+        n_local = n_shared = n_cache = 0
+        ebytes = self._edge_bytes
+        hds_enabled = self.hds_enabled
+        hds_probe = self.hds.probe
+        hds_probe_cost = self.cost.hds_probe
+        cache_query = self.cache.query
+        owners = self._vertex_owner
+        dead = self.cluster.dead
+        failover_owner = self.cluster.failover_owner
+        refund = chunk.refund
+        hit = ProbeOutcome.HIT
+        src_local = EdgeListSource.LOCAL
+        src_shared = EdgeListSource.SHARED
+        src_cache = EdgeListSource.CACHE
         for emb in chunk.items:
             if not emb.needs_fetch:
                 local_count += 1
                 continue
             v = emb.vertex
-            reserved = self.graph.edge_list_bytes(v)
+            reserved = ebytes[v]
             # failover-aware: a dead hash owner's partition is served by
             # its replica holder (docs/faults.md); fault-free runs take
-            # the plain hash-owner fast path inside serving_owner
-            owner = self.cluster.serving_owner(v)
+            # the plain hash-owner fast path (cluster.serving_owner,
+            # inlined here over the precomputed owner table)
+            owner = owners[v]
+            if dead and owner in dead:
+                owner = failover_owner(owner)
             if owner == me:
-                emb.mark_ready(EdgeListSource.LOCAL)
-                self.fetch_sources[EdgeListSource.LOCAL] += 1
-                self._m_fetch[EdgeListSource.LOCAL].inc()
-                chunk.refund(emb, reserved)  # local: pointer only
+                emb.mark_ready(src_local)
+                n_local += 1
+                refund(emb, reserved)  # local: pointer only
                 local_count += 1
                 continue
-            if self.hds_enabled:
-                cache_ops += self.cost.hds_probe
-                outcome = self.hds.probe(v)
-                if outcome is ProbeOutcome.HIT:
-                    emb.mark_ready(EdgeListSource.SHARED)
-                    self.fetch_sources[EdgeListSource.SHARED] += 1
-                    self._m_fetch[EdgeListSource.SHARED].inc()
-                    chunk.refund(emb, reserved)  # pointer into the chunk
+            if hds_enabled:
+                cache_ops += hds_probe_cost
+                outcome = hds_probe(v)
+                if outcome is hit:
+                    emb.mark_ready(src_shared)
+                    n_shared += 1
+                    refund(emb, reserved)  # pointer into the chunk
                     local_count += 1
                     continue
-            if self.cache.query(v):
-                emb.mark_ready(EdgeListSource.CACHE)
-                self.fetch_sources[EdgeListSource.CACHE] += 1
-                self._m_fetch[EdgeListSource.CACHE].inc()
-                chunk.refund(emb, reserved)  # resident in the cache pool
+            if cache_query(v):
+                emb.mark_ready(src_cache)
+                n_cache += 1
+                refund(emb, reserved)  # resident in the cache pool
                 local_count += 1
                 continue
             groups.setdefault(owner, []).append(emb)
+        if n_local:
+            self.fetch_sources[src_local] += n_local
+            self._m_fetch[src_local].inc(n_local)
+        if n_shared:
+            self.fetch_sources[src_shared] += n_shared
+            self._m_fetch[src_shared].inc(n_shared)
+        if n_cache:
+            self.fetch_sources[src_cache] += n_cache
+            self._m_fetch[src_cache].inc(n_cache)
         state.batch_sizes[0] = local_count
 
         # circulant order: owner machines starting from me+1
@@ -462,19 +579,36 @@ class MachineScheduler:
                                    [emb.vertex for emb in next_batch])
                 transport.collect(me, owner,
                                   [emb.vertex for emb in batch])
-            payload = 0
             server = self.cluster.machine(owner)
-            for emb in batch:
-                v = emb.vertex
-                num_bytes = self.graph.edge_list_bytes(v)
-                self.cluster.network.record_fetch(me, owner, num_bytes, server)
-                payload += num_bytes
-                admitted = self.cache.admit(v, num_bytes, self.graph.degree(v))
-                if admitted:
-                    chunk.refund(emb, num_bytes)  # lives in the cache pool
-                emb.mark_ready(EdgeListSource.REMOTE)
-                self.fetch_sources[EdgeListSource.REMOTE] += 1
-                self._m_fetch[EdgeListSource.REMOTE].inc()
+            network = self.cluster.network
+            admit = self.cache.admit
+            degrees = self._vertex_degrees
+            src_remote = EdgeListSource.REMOTE
+            if network.injector is None:
+                payload = network.record_fetch_batch(
+                    me, owner, [ebytes[emb.vertex] for emb in batch], server
+                )
+                for emb in batch:
+                    v = emb.vertex
+                    num_bytes = ebytes[v]
+                    if admit(v, num_bytes, degrees[v]):
+                        refund(emb, num_bytes)  # lives in the cache pool
+                    emb.mark_ready(src_remote)
+            else:
+                # injected failures interleave retry state with each
+                # fetch's bookkeeping: keep the one-at-a-time path
+                payload = 0
+                record_fetch = network.record_fetch
+                for emb in batch:
+                    v = emb.vertex
+                    num_bytes = ebytes[v]
+                    record_fetch(me, owner, num_bytes, server)
+                    payload += num_bytes
+                    if admit(v, num_bytes, degrees[v]):
+                        refund(emb, num_bytes)  # lives in the cache pool
+                    emb.mark_ready(src_remote)
+            self.fetch_sources[src_remote] += len(batch)
+            self._m_fetch[src_remote].inc(len(batch))
             comm = self.cluster.network.batch_time(payload, len(batch))
             # injected transient failures: their backoff waits extend
             # this batch's wire time; a straggler's slow link stretches it

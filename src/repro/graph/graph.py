@@ -38,7 +38,20 @@ class Graph:
         graphs store each edge twice (both directions).
     """
 
-    __slots__ = ("indptr", "indices", "labels", "directed", "edge_labels")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "labels",
+        "directed",
+        "edge_labels",
+        "_degrees",
+        "_adjacency_keys",
+        "_adjacency_matrix",
+    )
+
+    #: largest dense adjacency bitmap the kernels will materialize
+    #: (bytes); |V|^2 above this falls back to composite-key probes
+    DENSE_ADJACENCY_BYTES = 64 << 20
 
     def __init__(
         self,
@@ -71,6 +84,10 @@ class Graph:
         self.labels = labels
         self.directed = directed
         self.edge_labels = edge_labels
+        #: lazy caches; the arrays above are immutable by contract
+        self._degrees: Optional[np.ndarray] = None
+        self._adjacency_keys: Optional[np.ndarray] = None
+        self._adjacency_matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -96,13 +113,82 @@ class Graph:
         """Sorted neighbor array of vertex ``v`` (a CSR slice, no copy)."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
 
+    def neighbors_batch(self, vs) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened gather of several neighbor lists.
+
+        Returns ``(values, offsets)`` where vertex ``vs[i]``'s sorted
+        neighbor list is ``values[offsets[i]:offsets[i + 1]]``. One
+        vectorized gather instead of ``len(vs)`` per-vertex slices —
+        the entry format of the batched EXTEND kernels
+        (:mod:`repro.core.kernels`).
+        """
+        vs = np.asarray(vs, dtype=np.int64)
+        starts = self.indptr[vs]
+        counts = self.indptr[vs + 1] - starts
+        offsets = np.zeros(len(vs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return self.indices[:0], offsets
+        gather = np.repeat(starts - offsets[:-1], counts)
+        gather += np.arange(total, dtype=np.int64)
+        return self.indices[gather], offsets
+
+    def adjacency_keys(self) -> np.ndarray:
+        """Globally sorted composite keys ``src * |V| + neighbor``.
+
+        CSR entries are grouped by ascending source vertex and sorted
+        within each group, so the composite key array is strictly
+        increasing — one ``np.searchsorted`` against it answers
+        membership/position queries for arbitrary ``(src, neighbor)``
+        pairs in bulk. Built lazily (8 bytes per directed edge) for the
+        batched EXTEND kernels; plain accessors never need it.
+        """
+        if self._adjacency_keys is None:
+            num_vertices = np.int64(self.num_vertices)
+            src = np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+            )
+            keys = src * num_vertices + self.indices
+            keys.setflags(write=False)
+            self._adjacency_keys = keys
+        return self._adjacency_keys
+
+    def adjacency_matrix(self) -> Optional[np.ndarray]:
+        """Dense boolean adjacency, or ``None`` when too large to pay for.
+
+        ``matrix[u, v]`` answers ``has_edge(u, v)`` with a single load —
+        random membership probes against it are an order of magnitude
+        cheaper than binary searches, which is what the batched EXTEND
+        kernels buy with it. Materialized lazily and only while
+        ``|V|**2`` stays under :data:`DENSE_ADJACENCY_BYTES` (the
+        bundled dataset analogues all qualify); larger graphs return
+        ``None`` and the kernels keep the ``adjacency_keys`` probe path.
+        """
+        if self.num_vertices ** 2 > self.DENSE_ADJACENCY_BYTES:
+            return None
+        if self._adjacency_matrix is None:
+            n = self.num_vertices
+            matrix = np.zeros((n, n), dtype=bool)
+            src = np.repeat(
+                np.arange(n, dtype=np.int64), self.degrees()
+            )
+            matrix[src, self.indices] = True
+            matrix.setflags(write=False)
+            self._adjacency_matrix = matrix
+        return self._adjacency_matrix
+
     def degree(self, v: int) -> int:
         """Degree (out-degree for oriented graphs) of vertex ``v``."""
         return int(self.indptr[v + 1] - self.indptr[v])
 
     def degrees(self) -> np.ndarray:
-        """Array of all vertex degrees."""
-        return np.diff(self.indptr)
+        """Array of all vertex degrees (memoized; returned read-only)."""
+        if self._degrees is None:
+            degrees = np.diff(self.indptr)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
 
     def max_degree(self) -> int:
         """Largest degree in the graph (0 for an empty graph)."""
@@ -168,6 +254,16 @@ class Graph:
     def edge_list_bytes(self, v: int) -> int:
         """Wire size of ``N(v)``: an 8-byte header plus the vertex ids."""
         return 8 + VERTEX_ID_BYTES * self.degree(v)
+
+    def edge_list_bytes_all(self) -> np.ndarray:
+        """Per-vertex :meth:`edge_list_bytes` as one array.
+
+        The scheduler charges edge-list bytes once per created child and
+        once per resolved fetch — a method call plus two ``indptr``
+        loads each time adds up on million-child chunks, so the hot
+        loops index this instead.
+        """
+        return 8 + VERTEX_ID_BYTES * self.degrees()
 
     # ------------------------------------------------------------------
     # transforms

@@ -85,6 +85,10 @@ class PartitionedGraph:
         """Machine owning vertex ``v``."""
         return int(self._owners[v])
 
+    def owners_all(self) -> np.ndarray:
+        """Per-vertex owner machine ids (the scheduler's bulk view)."""
+        return self._owners
+
     def socket(self, v: int) -> int:
         """Socket (within the owner machine) holding vertex ``v``."""
         return self.partitioner.socket(v)

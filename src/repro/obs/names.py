@@ -11,7 +11,7 @@ suite fails otherwise.
 
 Naming convention: ``<component>.<event>`` in snake_case, with the
 component matching the module that emits it (``fetch``, ``hds``,
-``cache``, ``net``, ``extend``, ``chunk``, ``time``).
+``cache``, ``net``, ``extend``, ``kernel``, ``chunk``, ``time``).
 """
 
 from __future__ import annotations
@@ -70,6 +70,15 @@ EXTEND_CALLS = "extend.calls"
 EXTEND_MERGE_ELEMENTS = "extend.merge_elements"
 EXTEND_CANDIDATES = "extend.candidates"
 MATCHES_EMITTED = "extend.matches_emitted"
+
+# ---------------------------------------------------------------------
+# batched EXTEND kernels (docs/performance.md) — batched path only;
+# the scalar reference path never emits these
+# ---------------------------------------------------------------------
+KERNEL_BATCHES = "kernel.batches"
+KERNEL_BATCHED_EMBEDDINGS = "kernel.batched_embeddings"
+KERNEL_PROBE_ELEMENTS = "kernel.probe_elements"
+KERNEL_COUNT_ONLY_BATCHES = "kernel.count_only_batches"
 
 # ---------------------------------------------------------------------
 # network (Section 4.3 / Figure 19)
@@ -170,6 +179,18 @@ SPECS: dict[str, MetricSpec] = dict(
               "candidate vertices surviving all EXTEND filters"),
         _spec(MATCHES_EMITTED, "counter", "embeddings", "Tables 2-5",
               "completed embeddings handed to the UDF"),
+        _spec(KERNEL_BATCHES, "counter", "chunks",
+              "docs/performance.md",
+              "chunks extended through the vectorized kernel path"),
+        _spec(KERNEL_BATCHED_EMBEDDINGS, "counter", "embeddings",
+              "docs/performance.md",
+              "embeddings extended inside batched kernel calls"),
+        _spec(KERNEL_PROBE_ELEMENTS, "counter", "elements",
+              "docs/performance.md",
+              "candidate elements pushed through bulk adjacency probes"),
+        _spec(KERNEL_COUNT_ONLY_BATCHES, "counter", "chunks",
+              "docs/performance.md",
+              "final-level batches that took the count-only fast path"),
         _spec(NET_REQUESTS, "counter", "requests", "Fig 19",
               "edge-list fetch requests that crossed machines"),
         _spec(NET_PAYLOAD_BYTES, "counter", "bytes", "Fig 19",

@@ -1,0 +1,438 @@
+"""Batched EXTEND kernels (repro.core.kernels, docs/performance.md).
+
+The contract under test: every batched kernel agrees
+*element-for-element* with its reference — ``intersect_sorted`` /
+``setdiff_sorted`` with ``np.intersect1d`` / ``np.setdiff1d``, and
+``extend_chunk`` with the scalar :func:`compute_candidates`, including
+the ``merge_elements``/``scanned`` accounting quantities and the stored
+VCS intermediates. On top of the per-kernel checks, whole engine runs
+must be bit-identical between ``extend_mode="scalar"`` and
+``extend_mode="batched"`` — counts, simulated seconds, clock buckets,
+and every non-``kernel.*`` metric series — on the pattern catalog and
+on both execution backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import EngineConfig, KhuzdulEngine
+from repro.core import kernels
+from repro.core.extend import compute_candidates
+from repro.errors import ConfigurationError
+from repro.graph import from_edges
+from repro.graph.generators import erdos_renyi, power_law_graph, random_labels
+from repro.obs import Observability
+from repro.patterns import Pattern, catalog
+from repro.patterns.schedule import automine_schedule, graphpi_schedule
+
+
+# ======================================================================
+# pairwise sorted-set kernels vs numpy
+# ======================================================================
+def _sorted_unique(rng, size, universe):
+    return np.unique(rng.integers(0, universe, size=size).astype(np.int32))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_intersect_sorted_matches_numpy(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(25):
+        a = _sorted_unique(rng, int(rng.integers(0, 60)), 80)
+        b = _sorted_unique(rng, int(rng.integers(0, 60)), 80)
+        expected = np.intersect1d(a, b, assume_unique=True)
+        got = kernels.intersect_sorted(a, b)
+        assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_setdiff_sorted_matches_numpy(seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(25):
+        a = _sorted_unique(rng, int(rng.integers(0, 60)), 80)
+        b = _sorted_unique(rng, int(rng.integers(0, 60)), 80)
+        expected = np.setdiff1d(a, b, assume_unique=True)
+        got = kernels.setdiff_sorted(a, b)
+        assert np.array_equal(got, expected)
+
+
+def test_pairwise_kernels_edge_cases():
+    empty = np.empty(0, dtype=np.int32)
+    a = np.array([1, 5, 9], dtype=np.int32)
+    assert len(kernels.intersect_sorted(empty, a)) == 0
+    assert len(kernels.intersect_sorted(a, empty)) == 0
+    assert np.array_equal(kernels.setdiff_sorted(a, empty), a)
+    assert len(kernels.setdiff_sorted(empty, a)) == 0
+    # disjoint, identical, and values past the other array's maximum
+    b = np.array([2, 6, 10, 99], dtype=np.int32)
+    assert len(kernels.intersect_sorted(a, b)) == 0
+    assert np.array_equal(kernels.setdiff_sorted(b, a), b)
+    assert np.array_equal(kernels.intersect_sorted(a, a), a)
+    assert len(kernels.setdiff_sorted(a, a)) == 0
+
+
+# ======================================================================
+# graph batch gathers
+# ======================================================================
+def test_neighbors_batch_matches_scalar(small_random_graph):
+    g = small_random_graph
+    rng = np.random.default_rng(0)
+    vs = rng.integers(0, g.num_vertices, size=50)
+    values, offsets = g.neighbors_batch(vs)
+    assert offsets[0] == 0 and offsets[-1] == len(values)
+    for i, v in enumerate(vs):
+        assert np.array_equal(
+            values[offsets[i] : offsets[i + 1]], g.neighbors(int(v))
+        )
+
+
+def test_neighbors_batch_empty_input(small_random_graph):
+    values, offsets = small_random_graph.neighbors_batch([])
+    assert len(values) == 0
+    assert np.array_equal(offsets, [0])
+
+
+def test_adjacency_member_matches_has_edge(small_random_graph):
+    g = small_random_graph
+    rng = np.random.default_rng(1)
+    sources = rng.integers(0, g.num_vertices, size=200).astype(np.int64)
+    cands = rng.integers(0, g.num_vertices, size=200).astype(np.int64)
+    member = kernels.adjacency_member(g, sources, cands)
+    for s, c, m in zip(sources, cands, member):
+        assert bool(m) == g.has_edge(int(s), int(c))
+
+
+def test_adjacency_position_indexes_csr(small_random_graph):
+    g = small_random_graph
+    pairs = [(u, int(v)) for u in range(0, g.num_vertices, 7)
+             for v in g.neighbors(u)]
+    sources = np.array([p[0] for p in pairs], dtype=np.int64)
+    cands = np.array([p[1] for p in pairs], dtype=np.int64)
+    pos = kernels.adjacency_position(g, sources, cands)
+    assert np.array_equal(g.indices[pos], cands)
+
+
+def test_degrees_memoized(small_random_graph):
+    g = small_random_graph
+    first = g.degrees()
+    assert first is g.degrees()  # same array object: computed once
+    assert not first.flags.writeable
+    assert np.array_equal(first, np.diff(g.indptr))
+
+
+def test_adjacency_keys_memoized_and_sorted(small_random_graph):
+    g = small_random_graph
+    keys = g.adjacency_keys()
+    assert keys is g.adjacency_keys()
+    assert not keys.flags.writeable
+    assert np.all(np.diff(keys) > 0)  # strictly increasing
+    assert len(keys) == len(g.indices)
+
+
+# ======================================================================
+# extend_chunk vs the scalar reference, level by level
+# ======================================================================
+def _levels(graph, schedule, vcs=True):
+    """Enumerate the full embedding frontier level by level.
+
+    Yields ``(step, prefixes, intermediates, scalar_results)`` per
+    level, where ``scalar_results[i]`` is ``compute_candidates`` run on
+    row ``i`` — the ground truth ``extend_chunk`` must reproduce.
+    Intermediates are threaded exactly like the scheduler does: a child
+    inherits its ancestors' stored raws, keyed by the level whose
+    extension produced them.
+    """
+    frontier = [((v,), {}) for v in range(graph.num_vertices)]
+    for level in range(1, schedule.pattern.num_vertices):
+        step = schedule.steps[level - 1]
+        inters = []
+        scalars = []
+        for vertices, raws in frontier:
+            inter = None
+            if vcs and step.reuse_level is not None:
+                inter = raws.get(step.reuse_level)
+            inters.append(inter)
+            scalars.append(
+                compute_candidates(graph, step, vertices, inter, vcs)
+            )
+        prefixes = np.array([v for v, _ in frontier], dtype=np.int64)
+        yield step, prefixes, inters, scalars
+        new_frontier = []
+        for (vertices, raws), res in zip(frontier, scalars):
+            child_raws = raws
+            if res.raw is not None and vcs:
+                child_raws = dict(raws)
+                child_raws[level] = res.raw
+            for c in res.candidates:
+                new_frontier.append((vertices + (int(c),), child_raws))
+        frontier = new_frontier
+
+
+def _check_schedule(graph, schedule, vcs=True):
+    checked = 0
+    for step, prefixes, inters, scalars in _levels(graph, schedule, vcs):
+        use_inters = (
+            inters if (vcs and step.reuse_level is not None) else None
+        )
+        batch = kernels.extend_chunk(
+            graph, step, prefixes, use_inters, vcs=vcs
+        )
+        counts = kernels.extend_chunk(
+            graph, step, prefixes, use_inters, vcs=vcs, count_only=True
+        )
+        assert counts.values is None  # count-only never materializes
+        assert len(batch) == len(scalars)
+        for i, res in enumerate(scalars):
+            assert np.array_equal(batch.candidates_for(i), res.candidates)
+            assert int(batch.merge_elements[i]) == res.merge_elements
+            assert int(batch.scanned[i]) == res.scanned
+            assert int(batch.counts[i]) == len(res.candidates)
+            assert int(counts.counts[i]) == len(res.candidates)
+            assert int(counts.merge_elements[i]) == res.merge_elements
+            assert int(counts.scanned[i]) == res.scanned
+            if step.store_intermediate:
+                assert np.array_equal(batch.raw_for(i), res.raw)
+            else:
+                assert batch.raw_for(i) is None
+            checked += 1
+    assert checked > 0
+
+
+PATTERNS = {
+    "tri": catalog.clique(3),
+    "cl4": catalog.clique(4),
+    "chain4": catalog.chain(4),
+    "cyc4": catalog.cycle(4),
+    "star3": catalog.star(3),
+    "house": catalog.house(),
+    "tailtri": catalog.tailed_triangle(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_extend_chunk_matches_scalar(small_random_graph, name):
+    _check_schedule(small_random_graph, automine_schedule(PATTERNS[name]))
+
+
+@pytest.mark.parametrize("name", ["cl4", "cyc4"])
+def test_extend_chunk_matches_scalar_induced(small_random_graph, name):
+    _check_schedule(
+        small_random_graph, automine_schedule(PATTERNS[name], induced=True)
+    )
+
+
+@pytest.mark.parametrize("name", ["cl4", "house"])
+def test_extend_chunk_matches_scalar_vcs_off(small_random_graph, name):
+    _check_schedule(
+        small_random_graph, automine_schedule(PATTERNS[name]), vcs=False
+    )
+
+
+def test_extend_chunk_matches_scalar_graphpi(small_random_graph):
+    _check_schedule(small_random_graph, graphpi_schedule(catalog.clique(4)))
+
+
+def test_extend_chunk_matches_scalar_skewed(skewed_graph):
+    _check_schedule(skewed_graph, automine_schedule(catalog.clique(4)))
+
+
+def test_extend_chunk_vertex_labels(labeled_graph):
+    pattern = Pattern(3, [(0, 1), (1, 2)], labels=(0, 1, 2))
+    _check_schedule(labeled_graph, automine_schedule(pattern))
+
+
+def test_extend_chunk_edge_labels():
+    rng = np.random.default_rng(3)
+    edges = [
+        (u, v) for u in range(30) for v in range(u + 1, 30)
+        if rng.random() < 0.3
+    ]
+    labels = [int(rng.integers(0, 2)) for _ in edges]
+    graph = from_edges(edges, edge_labels=labels)
+    pattern = Pattern(3, [(0, 1), (1, 2)],
+                      edge_labels={(0, 1): 1, (1, 2): 0})
+    _check_schedule(graph, automine_schedule(pattern))
+
+
+def test_extend_chunk_mixed_intermediates(small_random_graph):
+    """Some embeddings carry a stored intermediate, some don't: the
+    batch splits into groups and must stitch results back in order."""
+    graph = small_random_graph
+    schedule = automine_schedule(catalog.clique(4))
+    for step, prefixes, inters, scalars in _levels(graph, schedule):
+        if step.reuse_level is None or not any(
+            inter is not None for inter in inters
+        ):
+            continue
+        holey = [
+            inter if i % 3 else None for i, inter in enumerate(inters)
+        ]
+        expected = [
+            compute_candidates(graph, step, tuple(row), inter, True)
+            for row, inter in zip(prefixes.tolist(), holey)
+        ]
+        batch = kernels.extend_chunk(graph, step, prefixes, holey, vcs=True)
+        for i, res in enumerate(expected):
+            assert np.array_equal(batch.candidates_for(i), res.candidates)
+            assert int(batch.merge_elements[i]) == res.merge_elements
+            assert int(batch.scanned[i]) == res.scanned
+            if step.store_intermediate:
+                assert np.array_equal(batch.raw_for(i), res.raw)
+
+
+def test_extend_chunk_empty_chunk(small_random_graph):
+    schedule = automine_schedule(catalog.clique(3))
+    step = schedule.steps[0]
+    batch = kernels.extend_chunk(
+        small_random_graph, step, np.empty((0, 1), dtype=np.int64)
+    )
+    assert len(batch) == 0
+    assert len(batch.values) == 0
+
+
+# ======================================================================
+# engine-level bit-identity: scalar vs batched
+# ======================================================================
+def _run(graph, mode, schedule, machines=4, obs=None, **config):
+    cluster = Cluster(
+        graph, ClusterConfig(num_machines=machines, memory_bytes=64 << 20)
+    )
+    engine = KhuzdulEngine(
+        cluster, EngineConfig(extend_mode=mode, **config), obs=obs
+    )
+    return engine.run(schedule)
+
+
+def _assert_reports_identical(scalar, batched):
+    assert scalar.counts == batched.counts
+    assert scalar.simulated_seconds == batched.simulated_seconds
+    assert scalar.breakdown == batched.breakdown
+    assert scalar.machine_breakdowns == batched.machine_breakdowns
+    assert scalar.machine_seconds == batched.machine_seconds
+    assert scalar.network_bytes == batched.network_bytes
+    assert scalar.extra["chunks"] == batched.extra["chunks"]
+    assert scalar.extra["hds"] == batched.extra["hds"]
+    assert scalar.extra["fetch_sources"] == batched.extra["fetch_sources"]
+
+
+@pytest.mark.parametrize("name", sorted(PATTERNS))
+def test_engine_bit_identical_scalar_vs_batched(small_random_graph, name):
+    schedule = automine_schedule(PATTERNS[name])
+    _assert_reports_identical(
+        _run(small_random_graph, "scalar", schedule),
+        _run(small_random_graph, "batched", schedule),
+    )
+
+
+@pytest.mark.parametrize("chunk_bytes", [1024, 4096])
+def test_engine_bit_identical_small_chunks(small_random_graph, chunk_bytes):
+    """Tiny chunks force mid-embedding pauses (resume tuples) and many
+    partially-consumed batches."""
+    schedule = automine_schedule(catalog.clique(4))
+    _assert_reports_identical(
+        _run(small_random_graph, "scalar", schedule,
+             chunk_bytes=chunk_bytes),
+        _run(small_random_graph, "batched", schedule,
+             chunk_bytes=chunk_bytes),
+    )
+
+
+def test_engine_metrics_identical_scalar_vs_batched(small_random_graph):
+    """Every metric series except the batched-only kernel.* counters
+    must match exactly — including the float time.* buckets."""
+    schedule = automine_schedule(catalog.clique(4))
+    obs_s, obs_b = Observability(), Observability()
+    _run(small_random_graph, "scalar", schedule, obs=obs_s)
+    _run(small_random_graph, "batched", schedule, obs=obs_b)
+
+    def comparable(dump):
+        return {
+            kind: [row for row in rows if not row[0].startswith("kernel.")]
+            for kind, rows in dump.items()
+        }
+
+    dump_s, dump_b = obs_s.registry.dump(), obs_b.registry.dump()
+    assert comparable(dump_s) == comparable(dump_b)
+    batched_kernel = [
+        row for row in dump_b["counters"] if row[0].startswith("kernel.")
+    ]
+    assert any(value > 0 for _, _, value in batched_kernel)
+    scalar_kernel = [
+        row for row in dump_s["counters"] if row[0].startswith("kernel.")
+    ]
+    assert all(value == 0 for _, _, value in scalar_kernel)
+
+
+def test_engine_timeout_partial_metrics_identical(skewed_graph):
+    """A run cut short by the simulated-time budget consumes batches
+    partially; deferred per-embedding accounting must keep even the
+    truncated totals identical to scalar."""
+    schedule = automine_schedule(catalog.clique(4))
+    full = _run(skewed_graph, "scalar", schedule)
+    budget = full.simulated_seconds * 0.4
+    obs_s, obs_b = Observability(), Observability()
+    scalar = _run(skewed_graph, "scalar", schedule, obs=obs_s,
+                  time_budget=budget)
+    batched = _run(skewed_graph, "batched", schedule, obs=obs_b,
+                   time_budget=budget)
+    assert scalar.failure is not None and batched.failure is not None
+    assert scalar.counts == batched.counts
+    assert scalar.simulated_seconds == batched.simulated_seconds
+
+    def comparable(dump):
+        return {
+            kind: [row for row in rows if not row[0].startswith("kernel.")]
+            for kind, rows in dump.items()
+        }
+
+    assert comparable(obs_s.registry.dump()) == comparable(
+        obs_b.registry.dump()
+    )
+
+
+def test_extend_mode_validation():
+    with pytest.raises(ConfigurationError):
+        EngineConfig(extend_mode="simd")
+
+
+def test_labeled_engine_bit_identical(labeled_graph):
+    pattern = Pattern(3, [(0, 1), (1, 2)], labels=(0, 1, 2))
+    schedule = automine_schedule(pattern)
+    _assert_reports_identical(
+        _run(labeled_graph, "scalar", schedule),
+        _run(labeled_graph, "batched", schedule),
+    )
+
+
+# ======================================================================
+# process backend: batched path inside real worker processes
+# ======================================================================
+@pytest.mark.exec
+@pytest.mark.parametrize("name", ["tri", "cl4", "cyc4"])
+def test_process_backend_bit_identical_scalar_vs_batched(name):
+    from repro.exec import ProcessBackend
+    from repro.graph import dataset
+    from repro.systems import KAutomine
+
+    graph = dataset("mico", scale=0.3)
+    cluster = ClusterConfig(num_machines=4)
+    reports = {}
+    for mode in ("scalar", "batched"):
+        inline = KAutomine(graph, cluster, EngineConfig(extend_mode=mode),
+                           graph_name="mico")
+        proc = KAutomine(graph, cluster, EngineConfig(extend_mode=mode),
+                         graph_name="mico",
+                         backend=ProcessBackend(workers=2))
+        reports[mode, "inline"] = inline.count_pattern(PATTERNS[name])
+        reports[mode, "process"] = proc.count_pattern(PATTERNS[name])
+    for backend in ("inline", "process"):
+        scalar, batched = reports["scalar", backend], reports["batched", backend]
+        assert scalar.counts == batched.counts
+        assert scalar.simulated_seconds == batched.simulated_seconds
+        assert scalar.machine_seconds == batched.machine_seconds
+    # and across backends within a mode (the existing exec invariant,
+    # now holding for the batched default too)
+    for mode in ("scalar", "batched"):
+        inline, proc = reports[mode, "inline"], reports[mode, "process"]
+        assert inline.counts == proc.counts
+        assert inline.simulated_seconds == proc.simulated_seconds
