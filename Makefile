@@ -38,18 +38,20 @@ exec-check:
 exec-faults-check:
 	$(PYTEST) -m exec_faults -q
 
-## batched-kernel perf smoke: tiny graphs, asserts the batched EXTEND
-## path never loses to the scalar reference and counts agree
-## (docs/performance.md)
+## wall-clock perf gates: tiny-graph smoke (batched EXTEND never loses
+## to scalar, counts agree) plus the headline process-backend speedup
+## gate with its CPU-aware floor — >=2x over inline-batched at 4
+## workers given >=4 CPUs (docs/performance.md)
 perf-check:
 	PYTHONPATH=src:. $(PYTHON) -m pytest $(TIMEOUT_FLAGS) \
 		benchmarks/bench_wallclock.py -q
 
 ## full wall-clock sweep over the bundled datasets; writes
-## BENCH_PR5.json (the >=3x wdc-triangle headline lives there)
+## BENCH_PR6.json (the >=3x wdc-triangle batched-over-scalar headline
+## and the inline-vs-process rows live there)
 perf-bench:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_wallclock.py \
-		--out BENCH_PR5.json
+		--out BENCH_PR6.json
 
 ## paper-figure benchmark suite (slow)
 bench:

@@ -99,6 +99,7 @@ def _build_system(args):
             getattr(args, "workers", None),
             heartbeat=getattr(args, "heartbeat", None),
             on_worker_death=getattr(args, "on_worker_death", None),
+            ring_bytes=getattr(args, "ring_bytes", None),
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc))
@@ -166,6 +167,13 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
              "worker exit codes at least this often while idle, so a "
              "dead worker is detected within roughly two heartbeats "
              "(default: 1s; docs/execution.md)",
+    )
+    parser.add_argument(
+        "--ring-bytes", type=int, default=None, metavar="BYTES",
+        help="process-backend capacity of each per-worker-pair "
+             "shared-memory reply ring (default: 1MiB); replies too "
+             "large for their ring take a pickled fallback queue "
+             "(docs/execution.md)",
     )
     parser.add_argument(
         "--on-worker-death", default=None, choices=["fail", "recover"],

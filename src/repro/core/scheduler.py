@@ -157,10 +157,11 @@ class MachineScheduler:
         self.faults = faults
         #: real inter-process fetch channel of the ``process`` backend
         #: (repro.exec). None in simulated-only runs; when set, each
-        #: circulant batch's edge lists additionally travel over worker
-        #: queues, with batch i+1 posted before batch i is awaited so
-        #: communication genuinely overlaps computation. The simulated
-        #: accounting below is unchanged either way.
+        #: chunk's circulant batches additionally travel as coalesced
+        #: requests whose replies stream back over shared-memory rings,
+        #: posted ahead of the batches that await them so communication
+        #: genuinely overlaps computation. The simulated accounting
+        #: below is unchanged either way.
         self.transport = transport
         #: straggler degradation: >1 stretches compute and link time
         self._slow_factor = (
@@ -566,17 +567,18 @@ class MachineScheduler:
                 ordered.append((owner, batch))
         transport = self.transport
         if transport is not None and ordered:
-            # prime the pipeline: batch 0's request is in flight before
-            # any batch is awaited (then batch i+1 is posted before
-            # batch i is collected, below)
-            transport.post(me, ordered[0][0],
-                           [emb.vertex for emb in ordered[0][1]])
-        for position, (owner, batch) in enumerate(ordered):
+            # fire the whole chunk's demand up front, coalesced per
+            # server worker and split to ring-sized requests — the
+            # transport's flow control keeps only as many in flight as
+            # its reply rings can hold, so every batch below finds its
+            # reply already streaming while earlier batches compute
+            transport.post_chunk(
+                me,
+                [(owner, [emb.vertex for emb in batch])
+                 for owner, batch in ordered],
+            )
+        for owner, batch in ordered:
             if transport is not None:
-                if position + 1 < len(ordered):
-                    next_owner, next_batch = ordered[position + 1]
-                    transport.post(me, next_owner,
-                                   [emb.vertex for emb in next_batch])
                 transport.collect(me, owner,
                                   [emb.vertex for emb in batch])
             server = self.cluster.machine(owner)

@@ -30,6 +30,7 @@ def make_backend(
     workers: Optional[int] = None,
     heartbeat: Optional[float] = None,
     on_worker_death: Optional[str] = None,
+    ring_bytes: Optional[int] = None,
 ):
     """Build the backend for a CLI/config name.
 
@@ -38,9 +39,10 @@ def make_backend(
     before is the cheapest possible determinism argument.
 
     ``heartbeat`` and ``on_worker_death`` tune the process backend's
-    liveness detection (``None`` keeps the backend defaults); the
-    inline backend has no worker processes to watch, so they are
-    silently ignored there.
+    liveness detection and ``ring_bytes`` its per-pair reply-ring
+    capacity (``None`` keeps the backend defaults); the inline backend
+    has no worker processes to watch, so they are silently ignored
+    there.
     """
     if name == "inline":
         return None
@@ -50,6 +52,8 @@ def make_backend(
             kwargs["heartbeat"] = heartbeat
         if on_worker_death is not None:
             kwargs["on_worker_death"] = on_worker_death
+        if ring_bytes is not None:
+            kwargs["ring_bytes"] = ring_bytes
         return ProcessBackend(workers=workers, **kwargs)
     raise ConfigurationError(
         f"unknown execution backend {name!r}; expected one of {BACKENDS}"

@@ -1,19 +1,27 @@
 """Wire types of the process backend's fetch protocol.
 
-One message class per direction: a :class:`FetchRequest` travels to
-the inbox of the worker hosting the serving machine, and the matching
-:class:`FetchReply` comes back on the (server worker, requester
-worker) reply queue carrying the *actual* edge lists, concatenated.
-Both are plain picklable dataclasses; payloads are numpy arrays so
-``multiprocessing``'s pickling moves them in one buffer.
+Requests are **coalesced**: the requester groups one chunk's pending
+circulant batches by *server worker* (not per embedding, not even per
+server machine) and ships each group as one
+:class:`CoalescedFetchRequest` carrying per-machine vertex segments —
+one inbox message amortizes the queue/pickle overhead over every fetch
+the chunk needs from that worker. The transport may split a very large
+group into several consecutive requests so each reply frame fits its
+shared-memory ring (see :mod:`repro.exec.transport`).
 
-Ordering contract (what makes one reply queue per worker pair enough):
-a worker runs one scheduler at a time, so its requests to any given
+Replies do not travel as pickled messages at all: the responder writes
+the concatenated edge lists as a raw frame into the (server worker,
+requester worker) shared-memory ring (:mod:`repro.exec.ring`). Only
+oversized payloads fall back to a pickled queue, announced in-band by
+a marker frame so ring order is preserved.
+
+Ordering contract (what makes one ring per worker pair enough): a
+worker runs one scheduler at a time, so its requests to any given
 server worker are posted in the order it will await them, the inbox is
-FIFO, and the responder serves it single-threaded — replies therefore
-arrive on the pair queue in exactly the awaited order. The transport
-still validates every reply against the awaited (server, requester,
-lengths) triple and fails loudly on a protocol violation.
+FIFO, and the responder serves it single-threaded — reply frames
+therefore land on the pair ring in exactly the awaited order. The
+transport still validates every frame against the awaited (kind,
+element count) pair and fails loudly on a protocol violation.
 """
 
 from __future__ import annotations
@@ -44,24 +52,25 @@ PEER_DEAD = "peer_dead"
 
 
 @dataclass(frozen=True)
-class FetchRequest:
-    """One circulant batch's edge-list demand, addressed to the worker
-    hosting ``server_machine``."""
+class Segment:
+    """One server machine's share of a coalesced request."""
 
-    requester_machine: int
-    requester_worker: int
     server_machine: int
     #: vertex ids whose edge lists are requested, in batch order
     vertices: np.ndarray
 
 
 @dataclass(frozen=True)
-class FetchReply:
-    """The served batch: all requested edge lists, concatenated."""
+class CoalescedFetchRequest:
+    """One chunk's edge-list demand on one server worker (possibly one
+    split of it), addressed to that worker's inbox.
 
-    server_machine: int
-    requester_machine: int
-    #: requested adjacency lists back to back (graph index dtype)
-    payload: np.ndarray
-    #: per-vertex degrees, aligned with the request's ``vertices``
-    lengths: np.ndarray
+    The responder serves every segment with a single bulk adjacency
+    gather and answers with exactly one reply frame on the
+    ``(server worker, requester worker)`` ring: the segments'
+    edge lists concatenated in segment order.
+    """
+
+    requester_worker: int
+    #: per-machine vertex batches, in the requester's circulant order
+    segments: tuple[Segment, ...]

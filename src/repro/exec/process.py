@@ -4,13 +4,15 @@ Execution plan (docs/execution.md):
 
 1. Export the graph's CSR arrays into shared memory once
    (:mod:`repro.graph.csr`) — workers map them zero-copy.
-2. Build the queue fabric (per-worker request inboxes, per-worker-pair
-   reply queues, per-worker death notices, a fleet stop event) and
-   spawn ``workers`` processes, each running
+2. Build the transport fabric (per-worker request inboxes, one
+   shared-memory reply *ring* per ordered worker pair plus a pickled
+   fallback queue per requester, per-worker death notices, a fleet
+   stop event) and spawn ``workers`` processes, each running
    :func:`repro.exec.worker.worker_main`: the unmodified inline
    scheduler loop over the machines it hosts (``m % workers``), with
-   inter-machine edge-list batches travelling as real messages in
-   circulant order, one batch in flight while the previous computes.
+   each chunk's edge-list demand coalesced per server worker and its
+   replies streaming back as raw ring frames while earlier batches
+   compute (docs/execution.md describes the ring protocol).
 3. Collect per-worker results while *watching worker liveness*: every
    ``heartbeat`` seconds without a message, the parent sweeps worker
    exit codes; a dead or silent worker is marked lost, its death
@@ -63,7 +65,12 @@ from repro.core.runtime import RunReport
 from repro.errors import ConfigurationError
 from repro.exec.backend import Backend
 from repro.exec.messages import ERROR, PEER_DEAD, RESULT, SHUTDOWN, STATS
-from repro.exec.transport import Endpoints
+from repro.exec.ring import create_ring
+from repro.exec.transport import (
+    Endpoints,
+    zero_requester_stats,
+    zero_responder_stats,
+)
 from repro.exec.worker import worker_main
 from repro.faults.recovery import (
     FailureSummary,
@@ -79,16 +86,13 @@ _HDS_KEYS = ("hits", "probes", "drops")
 _FETCH_KEYS = ("local", "remote", "cache", "shared")
 _CLOCK_KEYS = ("compute", "scheduler", "cache", "network")
 
-#: responder stats synthesized for workers that died before reporting
-#: theirs (their wall-clock serve numbers died with them)
-_ZERO_STATS = {
-    "served_requests": 0,
-    "served_bytes": 0,
-    "queue_depth": (0, 0.0, 0.0, 0.0),
-}
-
 #: the two worker-death policies ``--on-worker-death`` accepts
 DEATH_POLICIES = ("fail", "recover")
+
+#: default per-pair reply-ring capacity (data bytes); 1 MiB holds a
+#: full adaptive budget of frames per pair while keeping a 4-worker
+#: fabric's shared-memory footprint around a dozen MiB
+RING_BYTES = 1 << 20
 
 
 class _CollectTimeout(Exception):
@@ -131,6 +135,7 @@ class ProcessBackend(Backend):
         timeout: float = 600.0,
         heartbeat: float = 1.0,
         on_worker_death: str = "fail",
+        ring_bytes: int = RING_BYTES,
     ):
         #: worker-process count; None = one per simulated machine,
         #: always clamped to the machine count (a machine's scheduler
@@ -160,6 +165,11 @@ class ProcessBackend(Backend):
                 f"got {on_worker_death!r}"
             )
         self.on_worker_death = on_worker_death
+        #: capacity of each (server, requester) shared-memory reply
+        #: ring; replies that cannot fit take the pickled fallback path
+        if ring_bytes < 1024:
+            raise ConfigurationError("ring_bytes must be at least 1KiB")
+        self.ring_bytes = ring_bytes
 
     # ------------------------------------------------------------------
     def execute(self, engine, schedules, udf, system, app, graph_name):
@@ -185,17 +195,25 @@ class ProcessBackend(Backend):
         processes = []
         result_queue = None
         endpoints = None
+        rings = {}
         fleet = _FleetState()
         try:
             result_queue = context.Queue()
+            # one shared-memory reply ring per ordered worker pair
+            # (same-worker fetches take the transport's local fast
+            # path, so self-pairs never exist); the parent owns the
+            # segments and is the only side that unlinks them
+            rings = {
+                (server, requester): create_ring(self.ring_bytes)
+                for server in range(workers)
+                for requester in range(workers)
+                if server != requester
+            }
             endpoints = Endpoints(
                 num_workers=workers,
                 inboxes=[context.Queue() for _ in range(workers)],
-                replies={
-                    (server, requester): context.Queue()
-                    for server in range(workers)
-                    for requester in range(workers)
-                },
+                rings={pair: ring.handle for pair, ring in rings.items()},
+                fallbacks=[context.Queue() for _ in range(workers)],
                 deaths=[context.Event() for _ in range(workers)],
                 stop=context.Event(),
             )
@@ -254,12 +272,13 @@ class ProcessBackend(Backend):
                     lost, workers,
                 ))
             for worker_id in range(workers):
-                stats.setdefault(worker_id, dict(_ZERO_STATS))
+                stats.setdefault(worker_id, zero_responder_stats())
         finally:
             # teardown runs on every path: publish the stop signal so
             # bounded transport waits abort, unblock feeder threads by
             # draining the result queue, then reap (or terminate) the
-            # fleet and unlink the shared-memory segments
+            # fleet and unlink the shared-memory segments (graph CSR
+            # and reply rings alike — the parent owns both)
             if endpoints is not None:
                 endpoints.stop.set()
             self._drain(result_queue)
@@ -270,6 +289,8 @@ class ProcessBackend(Backend):
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=10.0)
+            for ring in rings.values():
+                ring.unlink()
             shared.unlink()
         wall = perf_counter() - started
         return self._merge(engine, udf, system, app, graph_name,
@@ -448,12 +469,7 @@ class ProcessBackend(Backend):
                 "report": report,
                 "udf": udf_copy,
                 "busy_seconds": perf_counter() - replay_started,
-                "requester": {
-                    "wait_seconds": 0.0,
-                    "messages": 0,
-                    "bytes_received": 0,
-                    "liveness_timeouts": 0,
-                },
+                "requester": zero_requester_stats(),
                 "obs": None,
             }
             if obs is not None:
@@ -640,17 +656,24 @@ class ProcessBackend(Backend):
 
         busy = [entry["busy_seconds"] for entry in ordered]
         wait = [entry["requester"]["wait_seconds"] for entry in ordered]
-        messages = sum(entry["requester"]["messages"] for entry in ordered)
+        requesters = [entry["requester"] for entry in ordered]
+        responders = [stats[worker_id] for worker_id in range(workers)]
+        messages = sum(r["messages"] for r in requesters)
         peer_timeouts = fleet.peer_timeout_messages + sum(
-            int(entry["requester"].get("liveness_timeouts", 0))
-            for entry in ordered
+            int(r.get("liveness_timeouts", 0)) for r in requesters
         )
-        shipped = sum(stats[worker_id]["served_bytes"]
-                      for worker_id in range(workers))
-        depth = self._merge_depth(
-            [stats[worker_id]["queue_depth"]
-             for worker_id in range(workers)]
+        shipped = sum(s["served_bytes"] for s in responders)
+        depth = self._merge_depth([s["queue_depth"] for s in responders])
+        occupancy = self._merge_depth(
+            [s["ring_occupancy"] for s in responders]
         )
+        coalesced_batch = self._merge_depth(
+            [r["coalesced_batch"] for r in requesters]
+        )
+        fallbacks = sum(s["fallbacks_served"] for s in responders)
+        ring_wait = sum(s["ring_wait_seconds"] for s in responders)
+        local_requests = sum(r["local_requests"] for r in requesters)
+        adaptive = [r["adaptive_chunk_bytes"] for r in requesters]
         merged.extra["exec"] = {
             **self._exec_extra(workers, wall, fleet,
                                peer_timeouts=peer_timeouts,
@@ -663,6 +686,22 @@ class ProcessBackend(Backend):
                 "count": depth[0], "total": depth[1],
                 "min": depth[2], "max": depth[3],
             },
+            "ring_bytes": self.ring_bytes,
+            "ring_fallbacks": fallbacks,
+            "ring_backpressure_seconds": ring_wait,
+            "ring_occupancy": {
+                "count": occupancy[0], "total": occupancy[1],
+                "min": occupancy[2], "max": occupancy[3],
+            },
+            "coalesced_requests": sum(
+                r["coalesced_requests"] for r in requesters
+            ),
+            "coalesced_batch_vertices": {
+                "count": coalesced_batch[0], "total": coalesced_batch[1],
+                "min": coalesced_batch[2], "max": coalesced_batch[3],
+            },
+            "local_fast_requests": local_requests,
+            "adaptive_chunk_bytes": adaptive,
         }
 
         obs = engine.obs
@@ -674,7 +713,9 @@ class ProcessBackend(Backend):
                     obs.tracer.absorb(dump["spans"], dump["dropped"])
             self._emit_exec_metrics(obs, workers, wall, busy, wait,
                                     messages, shipped, depth, fleet,
-                                    peer_timeouts)
+                                    peer_timeouts, requesters,
+                                    occupancy, coalesced_batch,
+                                    fallbacks, local_requests)
             summary = obs.summary()
             summary["network"] = {
                 "per_machine_sent_bytes": [
@@ -707,7 +748,9 @@ class ProcessBackend(Backend):
 
     def _emit_exec_metrics(self, obs, workers, wall, busy, wait,
                            messages, shipped, depth, fleet,
-                           peer_timeouts) -> None:
+                           peer_timeouts, requesters, occupancy,
+                           coalesced_batch, fallbacks,
+                           local_requests) -> None:
         scope = obs.registry.scope()
         scope.gauge(names.EXEC_WORKERS).set(workers)
         scope.gauge(names.EXEC_WALL_SECONDS).set(wall)
@@ -722,4 +765,22 @@ class ProcessBackend(Backend):
         scope.counter(names.EXEC_BYTES_SHIPPED).inc(shipped)
         if depth[0]:
             scope.histogram(names.EXEC_QUEUE_DEPTH).merge_summary(*depth)
+        scope.gauge(names.EXEC_RING_CAPACITY).set(self.ring_bytes)
+        if occupancy[0]:
+            scope.histogram(
+                names.EXEC_RING_OCCUPANCY
+            ).merge_summary(*occupancy)
+        scope.counter(names.EXEC_RING_FALLBACKS).inc(fallbacks)
+        scope.counter(names.EXEC_LOCAL_FAST_REQUESTS).inc(local_requests)
+        scope.counter(names.NET_COALESCED_REQUESTS).inc(
+            sum(r["coalesced_requests"] for r in requesters)
+        )
+        if coalesced_batch[0]:
+            scope.histogram(
+                names.NET_COALESCED_BATCH_VERTICES
+            ).merge_summary(*coalesced_batch)
+        for worker_id, requester in enumerate(requesters):
+            scope.gauge(
+                names.EXEC_ADAPTIVE_CHUNK_BYTES, worker=worker_id
+            ).set(requester["adaptive_chunk_bytes"])
         self._emit_liveness_metrics(scope, fleet, peer_timeouts)

@@ -1,63 +1,128 @@
 """Inter-worker fetch transport of the process backend.
 
 Topology: one request inbox per worker (many producers, one consumer —
-the worker's responder thread), plus one reply queue per ordered
-worker pair. The responder serves every request from the
-shared-memory graph (zero-copy reads) while the worker's main thread
-runs the chunk scheduler, so serving remote fetches genuinely
-overlaps local computation — the role of Khuzdul's dedicated
-communication threads.
+the worker's responder thread), one shared-memory reply ring per
+ordered worker pair (:mod:`repro.exec.ring`), and one pickled fallback
+queue per requester for payloads too large for their ring. The
+responder serves every request from the shared-memory graph with one
+bulk adjacency gather (``Graph.neighbors_batch`` — the batched worker
+kernel) while the worker's main thread runs the chunk scheduler, so
+serving remote fetches genuinely overlaps local computation — the role
+of Khuzdul's dedicated communication threads.
 
-The scheduler drives the requester side through two calls per
-circulant batch: :meth:`WorkerTransport.post` (fire the request) and
-:meth:`WorkerTransport.collect` (block for the reply and validate
-it). The scheduler posts batch *i+1* before collecting batch *i*, so
-one batch is always in flight — the paper's compute/communication
-pipelining, on real queues.
+The scheduler drives the requester side through
+:meth:`WorkerTransport.post_chunk` (fire the whole chunk's coalesced,
+ring-sized requests up front) and one :meth:`WorkerTransport.collect`
+per circulant batch (block for that server machine's edge lists). Key
+properties:
+
+* **Coalescing** — pending fetches are grouped per *server worker* and
+  shipped as :class:`~repro.exec.messages.CoalescedFetchRequest`
+  messages, one (or a few ring-sized splits) per worker per chunk,
+  instead of one message per server machine. Fewer messages, and every
+  reply is a raw ring frame: no pickling on the hot path.
+* **Deterministic framing** — requester and responder read the *same*
+  shared graph, so the requester predicts every reply's exact byte
+  size from vertex degrees. It reads whole frames in one call,
+  validates the element count, and slices per-machine payloads out by
+  the known segment lengths — no length table travels on the wire.
+* **Deadlock-free flow control** — the requester only posts a request
+  once the *predicted* reply bytes of everything in flight on that
+  ring fit its capacity (oversized payloads count only their marker
+  frame). A responder therefore never blocks on a full ring, so no
+  producer/consumer wait cycle can form; excess requests simply wait,
+  unposted, until :meth:`collect` drains earlier frames.
+* **Local fast path** — a fetch addressed to a machine hosted by the
+  requesting worker itself never becomes a message: ``collect`` serves
+  it synchronously from the shared graph.
+* **Adaptive sizing** — :class:`AdaptiveChunker` picks the per-request
+  reply-byte budget from measured per-chunk wall-clock, growing it
+  when rounds are IPC-dominated and shrinking it when rounds run long
+  (better pipelining). Purely a transport concern: simulated
+  accounting never sees it.
 
 Liveness: no wait in this module is unbounded. The responder polls its
-inbox with a timeout and re-checks the fleet stop event, so ``join``
-cannot hang when a peer dies before sending SHUTDOWN; the requester's
-reply wait starts short and backs off exponentially up to a cap,
-re-checking the serving peer's death notice (published by the parent's
-sentinel watcher) at every expiry, so a dead peer becomes a structured
-:class:`~repro.errors.PeerDeadError` instead of a deadlock
-(docs/execution.md, "Real-process failure semantics").
+inbox with a timeout and re-checks the fleet stop event; ring reads,
+ring writes, and fallback-queue gets all run in short bounded waits
+that re-check the relevant peer's death notice (published by the
+parent's sentinel watcher) and the stop event, so a dead peer becomes
+a structured :class:`~repro.errors.PeerDeadError` on the requester
+side — and a silently dropped reply on the responder side — instead of
+a deadlock (docs/execution.md, "Real-process failure semantics").
 """
 
 from __future__ import annotations
 
 import queue as queue_mod
 import threading
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import PeerDeadError
-from repro.exec.messages import SHUTDOWN, FetchReply, FetchRequest
+from repro.exec.messages import SHUTDOWN, CoalescedFetchRequest, Segment
+from repro.exec.ring import RingAborted, attach_ring
 from repro.graph.graph import Graph
 
 #: how long one reply may take before the worker assumes the fleet is
 #: wedged and aborts (generous: covers heavily loaded CI machines)
 REPLY_TIMEOUT_SECONDS = 300.0
-#: first bounded reply wait; doubles on each expiry (capped below) so a
-#: fast reply costs one short sleep and a dead peer is noticed quickly
-INITIAL_WAIT_SECONDS = 0.05
 #: cap on any single bounded wait between liveness re-checks — the
 #: worker-side detection bound for a dead peer or a fleet stop
 LIVENESS_INTERVAL_SECONDS = 1.0
+#: reply-frame header: int64 [kind, payload elements]
+FRAME_HEADER_BYTES = 16
+#: frame kinds: payload inline in the ring / oversized-payload marker
+#: (the actual edge lists travel pickled on the requester's fallback
+#: queue; the marker keeps the ring's frame order intact)
+FRAME_DATA = 0
+FRAME_FALLBACK = 1
+
+
+def zero_requester_stats() -> dict:
+    """Requester-side stats shape, all zero (lost/replayed workers)."""
+    return {
+        "wait_seconds": 0.0,
+        "messages": 0,
+        "bytes_received": 0,
+        "liveness_timeouts": 0,
+        "fallbacks": 0,
+        "local_requests": 0,
+        "local_bytes": 0,
+        "coalesced_requests": 0,
+        "coalesced_batch": (0, 0.0, 0.0, 0.0),
+        "adaptive_chunk_bytes": 0,
+    }
+
+
+def zero_responder_stats() -> dict:
+    """Responder-side stats shape, all zero (workers that died before
+    reporting theirs — their wall-clock serve numbers died with them)."""
+    return {
+        "served_requests": 0,
+        "served_bytes": 0,
+        "queue_depth": (0, 0.0, 0.0, 0.0),
+        "ring_occupancy": (0, 0.0, 0.0, 0.0),
+        "ring_wait_seconds": 0.0,
+        "fallbacks_served": 0,
+    }
 
 
 @dataclass
 class Endpoints:
-    """The queue fabric the parent builds and every worker shares.
+    """The fabric the parent builds and every worker shares.
 
-    ``inboxes[w]`` receives :class:`FetchRequest`s (and the shutdown
-    sentinel) for worker ``w``; ``replies[(sw, rw)]`` carries
-    :class:`FetchReply`s from server worker ``sw`` to requester worker
-    ``rw``. Machine ``m`` is hosted by worker ``m % num_workers``.
+    ``inboxes[w]`` receives :class:`CoalescedFetchRequest`s (and the
+    shutdown sentinel) for worker ``w``; ``rings[(sw, rw)]`` is the
+    :class:`~repro.exec.ring.RingHandle` of the shared-memory reply
+    ring from server worker ``sw`` to requester worker ``rw`` (no
+    self-pairs: same-worker fetches take the local fast path);
+    ``fallbacks[rw]`` is requester ``rw``'s pickled queue for replies
+    too large for their ring. Machine ``m`` is hosted by worker
+    ``m % num_workers``.
 
     ``deaths[w]`` is a per-worker death notice (a multiprocessing
     ``Event`` the *parent's* sentinel watcher sets when worker ``w``
@@ -69,7 +134,11 @@ class Endpoints:
 
     num_workers: int
     inboxes: list
-    replies: dict
+    #: (server worker, requester worker) -> RingHandle, for all pairs
+    #: with distinct workers
+    rings: dict = field(default_factory=dict)
+    #: per-requester slow-path queues for oversized reply payloads
+    fallbacks: list = field(default_factory=list)
     #: per-worker death notices set by the parent's liveness watcher
     deaths: Optional[list] = None
     #: fleet-wide stop signal set by the parent during teardown
@@ -85,6 +154,64 @@ class Endpoints:
         return self.stop is not None and self.stop.is_set()
 
 
+class AdaptiveChunker:
+    """Transport-level reply-size budget, tuned by chunk wall-clock.
+
+    ``target_bytes`` bounds the predicted reply payload of one
+    coalesced request (one ring frame). Feedback loop, evaluated when
+    each chunk's round of requests begins: if the previous round
+    finished faster than :data:`LOW_SECONDS`, per-message overhead
+    dominates — double the target (fewer, fatter frames); if it ran
+    longer than :data:`HIGH_SECONDS`, halve it (finer frames pipeline
+    the compute/communication overlap better). Clamped to
+    ``[min_bytes, ring capacity - header]`` so an in-budget frame
+    always fits its ring. Only IPC framing changes — the simulated
+    accounting never sees this knob.
+    """
+
+    #: rounds faster than this are IPC-dominated: grow the budget
+    LOW_SECONDS = 0.002
+    #: rounds slower than this want finer pipelining: shrink it
+    HIGH_SECONDS = 0.25
+
+    def __init__(self, capacity: int, min_bytes: int = 4096):
+        self.max_bytes = max(1, capacity - FRAME_HEADER_BYTES)
+        self.min_bytes = min(min_bytes, self.max_bytes)
+        self.target_bytes = max(self.min_bytes, self.max_bytes // 4)
+        self.grows = 0
+        self.shrinks = 0
+        self._round_started: Optional[float] = None
+
+    def begin_round(self) -> None:
+        """Adapt from the previous round's wall-clock; start a new one."""
+        now = perf_counter()
+        if self._round_started is not None:
+            elapsed = now - self._round_started
+            if elapsed < self.LOW_SECONDS:
+                grown = min(self.target_bytes * 2, self.max_bytes)
+                self.grows += grown != self.target_bytes
+                self.target_bytes = grown
+            elif elapsed > self.HIGH_SECONDS:
+                shrunk = max(self.target_bytes // 2, self.min_bytes)
+                self.shrinks += shrunk != self.target_bytes
+                self.target_bytes = shrunk
+        self._round_started = now
+
+
+@dataclass
+class _FrameDesc:
+    """What the requester expects from one posted request's reply."""
+
+    #: (server machine, element count) per segment, in request order
+    segments: list
+    total_elems: int
+    payload_bytes: int
+    #: whether the frame fits the ring inline (else: fallback marker)
+    fits: bool
+    #: ring bytes this request occupies while in flight (flow control)
+    ring_cost: int
+
+
 class WorkerTransport:
     """One worker's view of the fetch fabric (requester + responder)."""
 
@@ -92,17 +219,46 @@ class WorkerTransport:
         self.worker_id = worker_id
         self.endpoints = endpoints
         self.graph = graph
+        self._itemsize = graph.indices.dtype.itemsize
+        self._dtype = graph.indices.dtype
+        self._degrees = graph.degrees()
+        capacity = (
+            next(iter(endpoints.rings.values())).capacity
+            if endpoints.rings else 1 << 20
+        )
+        self.ring_capacity = capacity
+        self.chunker = AdaptiveChunker(capacity)
+        # lazily attached rings: producer side keyed (me, rw),
+        # consumer side keyed (sw, me); attach once, close on close()
+        self._producer_rings: dict = {}
+        self._consumer_rings: dict = {}
+        self._rings_lock = threading.Lock()
+        # requester-side flow control / reassembly (main thread only)
+        self._pending: dict[int, deque] = {}
+        self._inflight: dict[int, int] = {}
+        self._descriptors: dict[int, deque] = {}
+        self._buffers: dict[int, list] = {}
+        self._buffered_elems: dict[int, int] = {}
+        self._fallback_stash: dict[int, deque] = {}
         # requester-side accounting (main thread only)
         self.wait_seconds = 0.0
         self.requests_posted = 0
-        self.replies_received = 0
+        self.frames_received = 0
         self.bytes_received = 0
-        #: bounded reply waits that expired and re-checked peer
-        #: liveness before the reply arrived (feeds net.peer_timeouts)
+        self.fallbacks_received = 0
+        self.local_requests = 0
+        self.local_bytes = 0
+        #: bounded reply waits that crossed a liveness re-check interval
+        #: before the reply arrived (feeds net.peer_timeouts)
         self.liveness_timeouts = 0
+        self._batch_count = 0
+        self._batch_total = 0
+        self._batch_min = float("inf")
+        self._batch_max = float("-inf")
         # responder-side accounting (responder thread only)
         self.served_requests = 0
         self.served_bytes = 0
+        self.fallbacks_served = 0
         self._depth_count = 0
         self._depth_total = 0
         self._depth_min = float("inf")
@@ -110,6 +266,31 @@ class WorkerTransport:
         self._thread: threading.Thread | None = None
         self._stopped = threading.Event()
         self._stop_requested = threading.Event()
+
+    # ------------------------------------------------------------------
+    # ring plumbing (shared by both sides; attach-once under a lock)
+    # ------------------------------------------------------------------
+    def _ring(self, cache: dict, pair: tuple[int, int]):
+        ring = cache.get(pair)
+        if ring is None:
+            with self._rings_lock:
+                ring = cache.get(pair)
+                if ring is None:
+                    ring = attach_ring(self.endpoints.rings[pair])
+                    cache[pair] = ring
+        return ring
+
+    def close(self) -> None:
+        """Drop every ring mapping this transport attached. Only safe
+        once the responder thread has exited (call after :meth:`join`);
+        the parent remains the only side that unlinks."""
+        with self._rings_lock:
+            for ring in self._producer_rings.values():
+                ring.close()
+            for ring in self._consumer_rings.values():
+                ring.close()
+            self._producer_rings.clear()
+            self._consumer_rings.clear()
 
     # ------------------------------------------------------------------
     # responder side
@@ -124,7 +305,6 @@ class WorkerTransport:
 
     def _serve(self) -> None:
         inbox = self.endpoints.inboxes[self.worker_id]
-        replies = self.endpoints.replies
         try:
             while True:
                 # bounded: a peer that dies before sending SHUTDOWN
@@ -139,15 +319,48 @@ class WorkerTransport:
                 if message == SHUTDOWN:
                     break
                 self._observe_depth(inbox)
-                payload, lengths = self._build_payload(message.vertices)
-                self.served_requests += 1
-                self.served_bytes += payload.nbytes
-                replies[(self.worker_id, message.requester_worker)].put(
-                    FetchReply(message.server_machine,
-                               message.requester_machine, payload, lengths)
-                )
+                self._serve_one(message)
         finally:
             self._stopped.set()
+
+    def _serve_one(self, message: CoalescedFetchRequest) -> None:
+        """Serve one coalesced request: a single bulk adjacency gather
+        for every segment, answered as one ring frame (or a fallback
+        queue item plus a marker frame when it cannot fit inline)."""
+        vertices = np.concatenate(
+            [seg.vertices for seg in message.segments]
+        ) if len(message.segments) > 1 else message.segments[0].vertices
+        payload, _ = self.graph.neighbors_batch(vertices)
+        self.served_requests += 1
+        self.served_bytes += payload.nbytes
+        requester = message.requester_worker
+        ring = self._ring(self._producer_rings, (self.worker_id, requester))
+
+        def abort() -> bool:
+            return (self._stop_requested.is_set()
+                    or self.endpoints.stopping()
+                    or self.endpoints.peer_dead(requester))
+
+        fits = FRAME_HEADER_BYTES + payload.nbytes <= ring.capacity
+        try:
+            if fits:
+                header = np.array([FRAME_DATA, len(payload)],
+                                  dtype=np.int64)
+                ring.write([header, payload], abort)
+            else:
+                # oversized: ship the payload pickled, keep ring order
+                # with a marker frame the requester knows to expect
+                self.fallbacks_served += 1
+                self.endpoints.fallbacks[requester].put(
+                    (self.worker_id, payload)
+                )
+                marker = np.array([FRAME_FALLBACK, len(payload)],
+                                  dtype=np.int64)
+                ring.write([marker], abort)
+        except RingAborted:
+            # the requester died or the fleet is stopping: drop the
+            # reply and keep serving whoever is still alive
+            pass
 
     def _observe_depth(self, inbox) -> None:
         try:
@@ -160,21 +373,6 @@ class WorkerTransport:
             self._depth_min = depth
         if depth > self._depth_max:
             self._depth_max = depth
-
-    def _build_payload(
-        self, vertices: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Concatenate the requested edge lists from the shared graph."""
-        graph = self.graph
-        lists = [graph.neighbors(int(v)) for v in vertices]
-        lengths = np.fromiter(
-            (len(lst) for lst in lists), dtype=np.int64, count=len(lists)
-        )
-        if lists:
-            payload = np.concatenate(lists)
-        else:
-            payload = np.empty(0, dtype=graph.indices.dtype)
-        return payload, lengths
 
     def stop(self) -> None:
         """Ask the responder to exit even if SHUTDOWN never arrives."""
@@ -193,79 +391,298 @@ class WorkerTransport:
     # ------------------------------------------------------------------
     # requester side (called by MachineScheduler)
     # ------------------------------------------------------------------
-    def post(self, requester_machine: int, server_machine: int,
-             vertices: Sequence[int]) -> None:
-        """Fire one circulant batch's fetch request (non-blocking)."""
-        server_worker = self.endpoints.worker_of(server_machine)
-        self.endpoints.inboxes[server_worker].put(FetchRequest(
-            requester_machine, self.worker_id, server_machine,
-            np.asarray(vertices, dtype=np.int64),
-        ))
-        self.requests_posted += 1
+    def post_chunk(self, requester_machine: int,
+                   batches: Sequence[tuple[int, Sequence[int]]]) -> None:
+        """Fire one chunk's entire fetch demand, coalesced and split.
+
+        ``batches`` is the chunk's circulant order: (server machine,
+        vertices) pairs. Batches whose server machine is hosted *here*
+        are skipped (``collect`` serves them synchronously); the rest
+        are grouped per server worker, greedily packed into requests
+        whose predicted reply payload fits the adaptive budget, and
+        posted immediately — except where the ring's in-flight budget
+        is exhausted, in which case the surplus requests wait unposted
+        until :meth:`collect` drains earlier frames (the deadlock-free
+        flow control described in the module docstring).
+        """
+        self.chunker.begin_round()
+        target = self.chunker.target_bytes
+        itemsize = self._itemsize
+        degrees = self._degrees
+        worker_of = self.endpoints.worker_of
+        # per-server-worker open request being packed:
+        # [segments, seg_elems, payload_bytes]
+        builders: dict[int, list] = {}
+        order: list[int] = []
+        for server_machine, vertices in batches:
+            server_worker = worker_of(server_machine)
+            if server_worker == self.worker_id:
+                continue  # local fast path: served at collect time
+            if server_worker not in builders:
+                builders[server_worker] = [[], [], 0]
+                order.append(server_worker)
+            builder = builders[server_worker]
+            start = 0
+            vertices = np.asarray(vertices, dtype=np.int64)
+            elems = degrees[vertices]
+            for index, count in enumerate(elems.tolist()):
+                nbytes = count * itemsize
+                if builder[2] and builder[2] + nbytes > target:
+                    # budget reached: flush [start, index) and open a
+                    # fresh request (a single vertex may exceed the
+                    # budget on its own — it travels alone, and the
+                    # responder falls back if it cannot fit the ring)
+                    if index > start:
+                        self._push_segment(
+                            builder, server_machine,
+                            vertices[start:index],
+                            int(elems[start:index].sum()),
+                        )
+                        start = index
+                    self._flush(server_worker, builder)
+                builder[2] += nbytes
+            if len(vertices) > start:
+                self._push_segment(
+                    builder, server_machine, vertices[start:],
+                    int(elems[start:].sum()),
+                )
+        for server_worker in order:
+            builder = builders[server_worker]
+            if builder[0]:
+                self._flush(server_worker, builder)
+            self._pump(server_worker)
+
+    @staticmethod
+    def _push_segment(builder, server_machine, vertices, elems) -> None:
+        builder[0].append(Segment(server_machine, vertices))
+        builder[1].append((server_machine, elems))
+
+    def _flush(self, server_worker: int, builder) -> None:
+        """Close the open request: queue it (message + expectation)."""
+        segments, seg_elems, _ = builder
+        total_elems = sum(elems for _, elems in seg_elems)
+        payload_bytes = total_elems * self._itemsize
+        fits = (FRAME_HEADER_BYTES + payload_bytes) <= self.ring_capacity
+        desc = _FrameDesc(
+            segments=seg_elems,
+            total_elems=total_elems,
+            payload_bytes=payload_bytes,
+            fits=fits,
+            ring_cost=(FRAME_HEADER_BYTES + payload_bytes if fits
+                       else FRAME_HEADER_BYTES),
+        )
+        message = CoalescedFetchRequest(self.worker_id, tuple(segments))
+        self._pending.setdefault(server_worker, deque()).append(
+            (message, desc)
+        )
+        self._batch_count += 1
+        total_vertices = sum(len(seg.vertices) for seg in segments)
+        self._batch_total += total_vertices
+        if total_vertices < self._batch_min:
+            self._batch_min = total_vertices
+        if total_vertices > self._batch_max:
+            self._batch_max = total_vertices
+        builder[0] = []
+        builder[1] = []
+        builder[2] = 0
+
+    def _pump(self, server_worker: int) -> None:
+        """Post queued requests while their predicted reply frames fit
+        the ring's remaining in-flight budget — the invariant that
+        keeps responders from ever blocking on a full ring."""
+        pending = self._pending.get(server_worker)
+        if not pending:
+            return
+        inflight = self._inflight.setdefault(server_worker, 0)
+        inbox = self.endpoints.inboxes[server_worker]
+        descriptors = self._descriptors.setdefault(server_worker, deque())
+        while pending and inflight + pending[0][1].ring_cost \
+                <= self.ring_capacity:
+            message, desc = pending.popleft()
+            inbox.put(message)
+            descriptors.append(desc)
+            inflight += desc.ring_cost
+            self.requests_posted += 1
+        self._inflight[server_worker] = inflight
 
     def collect(self, requester_machine: int, server_machine: int,
                 vertices: Sequence[int]) -> np.ndarray:
-        """Block for a posted batch's reply; validate and return it.
+        """Return one circulant batch's edge lists, concatenated.
 
-        The wait is a sequence of bounded ``get``s with capped
-        exponential backoff; every expiry re-checks the serving
-        worker's death notice and the fleet stop event, so a dead peer
+        Machines hosted on this worker are served synchronously from
+        the shared graph (no message ever existed). Remote machines
+        drain reply frames — in posted order, which is collect order —
+        off the server worker's ring until this machine's payload is
+        fully buffered; every frame consumed frees in-flight budget
+        and may post deferred requests. All waits are bounded and
+        re-check the serving peer's death notice, so a dead peer
         surfaces as :class:`~repro.errors.PeerDeadError` within
         :data:`LIVENESS_INTERVAL_SECONDS` of the parent noticing it.
         """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        expected = int(self._degrees[vertices].sum())
         server_worker = self.endpoints.worker_of(server_machine)
-        channel = self.endpoints.replies[(server_worker, self.worker_id)]
+        if server_worker == self.worker_id:
+            payload, _ = self.graph.neighbors_batch(vertices)
+            self.local_requests += 1
+            self.local_bytes += payload.nbytes
+            return payload
+        while self._buffered_elems.get(server_machine, 0) < expected:
+            self._read_frame(server_worker, server_machine)
+        got = self._buffered_elems.pop(server_machine, 0)
+        parts = self._buffers.pop(server_machine, [])
+        if got != expected:
+            raise RuntimeError(
+                f"fetch payload mismatch from machine {server_machine}: "
+                f"expected {expected} vertices, got {got}"
+            )
+        payload = parts[0] if len(parts) == 1 else np.concatenate(
+            parts
+        ) if parts else np.empty(0, dtype=self._dtype)
+        self.bytes_received += payload.nbytes
+        return payload
+
+    def _read_frame(self, server_worker: int, server_machine: int) -> None:
+        """Consume the next expected frame from one ring; buffer its
+        per-machine payload slices; release in-flight budget."""
+        descriptors = self._descriptors.get(server_worker)
+        if not descriptors:
+            raise RuntimeError(
+                f"fetch protocol violation: collect for machine "
+                f"{server_machine} with no posted request on worker "
+                f"{server_worker}"
+            )
+        desc = descriptors.popleft()
+        ring = self._ring(self._consumer_rings,
+                          (server_worker, self.worker_id))
         started = perf_counter()
         deadline = started + REPLY_TIMEOUT_SECONDS
-        wait = INITIAL_WAIT_SECONDS
+
+        def abort() -> bool:
+            return (self.endpoints.peer_dead(server_worker)
+                    or self.endpoints.stopping()
+                    or perf_counter() >= deadline)
+
+        try:
+            if desc.fits:
+                raw = ring.read_exact(
+                    FRAME_HEADER_BYTES + desc.payload_bytes, abort
+                )
+                header = raw[:FRAME_HEADER_BYTES].view(np.int64)
+                kind, elems = int(header[0]), int(header[1])
+                payload = raw[FRAME_HEADER_BYTES:].view(self._dtype)
+            else:
+                raw = ring.read_exact(FRAME_HEADER_BYTES, abort)
+                header = raw.view(np.int64)
+                kind, elems = int(header[0]), int(header[1])
+                payload = None
+        except RingAborted:
+            self._abort_wait(started, server_worker, server_machine)
+        elapsed = perf_counter() - started
+        self.wait_seconds += elapsed
+        self.liveness_timeouts += int(elapsed // LIVENESS_INTERVAL_SECONDS)
+        expected_kind = FRAME_DATA if desc.fits else FRAME_FALLBACK
+        if kind != expected_kind or elems != desc.total_elems:
+            raise RuntimeError(
+                f"fetch protocol violation: awaited frame "
+                f"(kind={expected_kind}, elems={desc.total_elems}) from "
+                f"worker {server_worker}, got (kind={kind}, elems={elems})"
+            )
+        if payload is None:
+            payload = self._fallback_get(server_worker, server_machine,
+                                         deadline)
+            self.fallbacks_received += 1
+            if len(payload) != desc.total_elems:
+                raise RuntimeError(
+                    f"fetch payload mismatch from worker {server_worker}: "
+                    f"fallback carried {len(payload)} vertices, awaited "
+                    f"{desc.total_elems}"
+                )
+        self.frames_received += 1
+        inflight = self._inflight.get(server_worker, 0) - desc.ring_cost
+        self._inflight[server_worker] = max(0, inflight)
+        self._pump(server_worker)
+        cursor = 0
+        for machine, elems in desc.segments:
+            part = payload[cursor:cursor + elems]
+            cursor += elems
+            self._buffers.setdefault(machine, []).append(part)
+            self._buffered_elems[machine] = (
+                self._buffered_elems.get(machine, 0) + elems
+            )
+
+    def _abort_wait(self, started: float, server_worker: int,
+                    server_machine: int):
+        """A bounded ring wait gave up: name the reason and raise."""
+        elapsed = perf_counter() - started
+        self.wait_seconds += elapsed
+        if (self.endpoints.peer_dead(server_worker)
+                or self.endpoints.stopping()):
+            self.liveness_timeouts += max(
+                1, int(elapsed // LIVENESS_INTERVAL_SECONDS)
+            )
+            raise PeerDeadError(
+                self.worker_id, server_worker, server_machine
+            ) from None
+        raise RuntimeError(
+            f"worker {self.worker_id}: no reply from machine "
+            f"{server_machine} (worker {server_worker}) within "
+            f"{REPLY_TIMEOUT_SECONDS:.0f}s"
+        ) from None
+
+    def _fallback_get(self, server_worker: int, server_machine: int,
+                      deadline: float) -> np.ndarray:
+        """Bounded, liveness-aware get of one oversized payload.
+
+        All server workers share this requester's fallback queue;
+        items from other workers surfaced while waiting are stashed
+        (per-worker order is preserved by the shared FIFO)."""
+        stash = self._fallback_stash.get(server_worker)
+        if stash:
+            return stash.popleft()
+        channel = self.endpoints.fallbacks[self.worker_id]
+        started = perf_counter()
         while True:
             remaining = deadline - perf_counter()
             try:
-                reply = channel.get(timeout=min(wait, max(0.001, remaining)))
-                break
+                sender, payload = channel.get(
+                    timeout=min(LIVENESS_INTERVAL_SECONDS,
+                                max(0.001, remaining))
+                )
             except queue_mod.Empty:
                 self.liveness_timeouts += 1
                 if (self.endpoints.peer_dead(server_worker)
-                        or self.endpoints.stopping()):
-                    raise PeerDeadError(
-                        self.worker_id, server_worker, server_machine
-                    ) from None
-                if perf_counter() >= deadline:
-                    raise RuntimeError(
-                        f"worker {self.worker_id}: no reply from machine "
-                        f"{server_machine} (worker {server_worker}) within "
-                        f"{REPLY_TIMEOUT_SECONDS:.0f}s"
-                    ) from None
-                wait = min(wait * 2.0, LIVENESS_INTERVAL_SECONDS)
-        self.wait_seconds += perf_counter() - started
-        if (reply.server_machine != server_machine
-                or reply.requester_machine != requester_machine):
-            raise RuntimeError(
-                f"fetch protocol violation: awaited reply "
-                f"({server_machine}->{requester_machine}), got "
-                f"({reply.server_machine}->{reply.requester_machine})"
-            )
-        expected = sum(self.graph.degree(int(v)) for v in vertices)
-        if int(reply.lengths.sum()) != len(reply.payload) \
-                or len(reply.payload) != expected:
-            raise RuntimeError(
-                f"fetch payload mismatch from machine {server_machine}: "
-                f"expected {expected} vertices, got {len(reply.payload)}"
-            )
-        self.replies_received += 1
-        self.bytes_received += reply.payload.nbytes
-        return reply.payload
+                        or self.endpoints.stopping()
+                        or perf_counter() >= deadline):
+                    self._abort_wait(started, server_worker,
+                                     server_machine)
+                continue
+            if sender == server_worker:
+                self.wait_seconds += perf_counter() - started
+                return payload
+            self._fallback_stash.setdefault(sender, deque()).append(payload)
 
     # ------------------------------------------------------------------
-    # stats shipped to the parent (feed the exec.* metrics)
+    # stats shipped to the parent (feed the exec.*/net.* metrics)
     # ------------------------------------------------------------------
     def requester_stats(self) -> dict:
         """Main-thread stats: complete once the compute loop returns."""
+        batch = (
+            (self._batch_count, float(self._batch_total),
+             float(self._batch_min), float(self._batch_max))
+            if self._batch_count else (0, 0.0, 0.0, 0.0)
+        )
         return {
             "wait_seconds": self.wait_seconds,
-            "messages": self.requests_posted + self.replies_received,
+            "messages": self.requests_posted + self.frames_received,
             "bytes_received": self.bytes_received,
             "liveness_timeouts": self.liveness_timeouts,
+            "fallbacks": self.fallbacks_received,
+            "local_requests": self.local_requests,
+            "local_bytes": self.local_bytes,
+            "coalesced_requests": self.requests_posted,
+            "coalesced_batch": batch,
+            "adaptive_chunk_bytes": self.chunker.target_bytes,
         }
 
     def responder_stats(self) -> dict:
@@ -277,8 +694,22 @@ class WorkerTransport:
             if self._depth_count
             else (0, 0.0, 0.0, 0.0)
         )
+        occupancy = [0, 0.0, float("inf"), float("-inf")]
+        ring_wait = 0.0
+        for ring in list(self._producer_rings.values()):
+            count, total, low, high = ring.occupancy_summary()
+            occupancy[0] += count
+            occupancy[1] += total
+            occupancy[2] = min(occupancy[2], low) if count else occupancy[2]
+            occupancy[3] = max(occupancy[3], high) if count else occupancy[3]
+            ring_wait += ring.wait_seconds
+        if not occupancy[0]:
+            occupancy = [0, 0.0, 0.0, 0.0]
         return {
             "served_requests": self.served_requests,
             "served_bytes": self.served_bytes,
             "queue_depth": depth,
+            "ring_occupancy": tuple(occupancy),
+            "ring_wait_seconds": ring_wait,
+            "fallbacks_served": self.fallbacks_served,
         }

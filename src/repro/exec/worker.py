@@ -114,4 +114,9 @@ def worker_main(
     finally:
         if transport is not None:
             transport.stop()
+            # ring mappings may only be dropped once the responder
+            # thread stops writing them; its serve loop re-checks the
+            # stop request every bounded poll, so this join is bounded
+            if transport.join(timeout=5.0):
+                transport.close()
         shared.close()

@@ -48,6 +48,27 @@ class _SegmentSpec:
     length: int
 
 
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create one shared-memory segment (creator side owns the unlink).
+
+    The generic entry point of this module's segment lifecycle: the CSR
+    export below uses it for graph arrays, and the process backend's
+    reply rings (:mod:`repro.exec.ring`) use it for fetch-reply
+    payloads — same mechanism, same creator-unlinks contract.
+    """
+    return shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment by name without resource-tracker registration
+    (see the module docstring for why attachers must not register)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg; registration is
+        # a no-op here because workers share the parent's tracker
+        return shared_memory.SharedMemory(name=name)
+
+
 @dataclass(frozen=True)
 class SharedCsrHandle:
     """Picklable description of a graph exported with :func:`share_csr`."""
@@ -113,8 +134,7 @@ class SharedCsr:
 def _export_array(array: np.ndarray, name_hint: str):
     """Copy one array into a fresh shared-memory segment."""
     array = np.ascontiguousarray(array)
-    nbytes = max(1, array.nbytes)  # zero-byte segments are not allowed
-    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    segment = create_segment(array.nbytes)
     view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
     view[:] = array
     spec = _SegmentSpec(segment.name, array.dtype.str, len(array))
@@ -123,11 +143,7 @@ def _export_array(array: np.ndarray, name_hint: str):
 
 def _attach_segment(spec: _SegmentSpec) -> shared_memory.SharedMemory:
     """Attach without resource-tracker registration (see module doc)."""
-    try:
-        return shared_memory.SharedMemory(name=spec.name, track=False)
-    except TypeError:  # Python < 3.13: no track kwarg; registration is
-        # a no-op here because workers share the parent's tracker
-        return shared_memory.SharedMemory(name=spec.name)
+    return attach_segment(spec.name)
 
 
 def _view(spec: _SegmentSpec,

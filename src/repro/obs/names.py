@@ -117,6 +117,13 @@ EXEC_HEARTBEAT_CHECKS = "exec.heartbeat.checks"
 EXEC_HEARTBEAT_INTERVAL = "exec.heartbeat.interval_seconds"
 EXEC_WORKER_DEATHS = "exec.worker_deaths"
 NET_PEER_TIMEOUTS = "net.peer_timeouts"
+EXEC_RING_CAPACITY = "exec.ring.capacity_bytes"
+EXEC_RING_OCCUPANCY = "exec.ring.occupancy_bytes"
+EXEC_RING_FALLBACKS = "exec.ring.fallbacks"
+EXEC_LOCAL_FAST_REQUESTS = "exec.local_fast_requests"
+EXEC_ADAPTIVE_CHUNK_BYTES = "exec.adaptive_chunk_bytes"
+NET_COALESCED_REQUESTS = "net.coalesced_requests"
+NET_COALESCED_BATCH_VERTICES = "net.coalesced_batch_vertices"
 
 # ---------------------------------------------------------------------
 # simulated-time attribution (Figure 15 categories)
@@ -256,6 +263,31 @@ SPECS: dict[str, MetricSpec] = dict(
               "docs/execution.md",
               "bounded transport waits that expired and re-checked "
               "peer liveness before a reply arrived"),
+        _spec(EXEC_RING_CAPACITY, "gauge", "bytes",
+              "docs/execution.md",
+              "configured data capacity of each per-pair reply ring"),
+        _spec(EXEC_RING_OCCUPANCY, "histogram", "bytes",
+              "docs/execution.md",
+              "ring bytes in flight sampled after each published frame"),
+        _spec(EXEC_RING_FALLBACKS, "counter", "replies",
+              "docs/execution.md",
+              "oversized reply payloads routed over the pickled "
+              "fallback queue instead of their ring"),
+        _spec(EXEC_LOCAL_FAST_REQUESTS, "counter", "requests",
+              "docs/execution.md",
+              "fetch batches served synchronously from the shared "
+              "graph because the server machine was hosted locally"),
+        _spec(EXEC_ADAPTIVE_CHUNK_BYTES, "gauge", "bytes",
+              "docs/execution.md",
+              "final adaptive reply-size budget per worker (per-worker "
+              "label; tuned from measured chunk wall-clock)"),
+        _spec(NET_COALESCED_REQUESTS, "counter", "requests",
+              "docs/execution.md",
+              "coalesced per-server-worker fetch requests posted to "
+              "worker inboxes"),
+        _spec(NET_COALESCED_BATCH_VERTICES, "histogram", "vertices",
+              "docs/execution.md",
+              "vertices carried per coalesced fetch request"),
         _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
               "simulated seconds charged to computation"),
         _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",

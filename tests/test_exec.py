@@ -20,11 +20,13 @@ from repro.cluster import ClusterConfig
 from repro.core import EngineConfig
 from repro.errors import ConfigurationError, PeerDeadError
 from repro.exec import BACKENDS, InlineBackend, ProcessBackend, make_backend
-from repro.exec.transport import Endpoints, WorkerTransport
+from repro.exec.messages import SHUTDOWN
+from repro.exec.ring import RingAborted, attach_ring, create_ring
+from repro.exec.transport import AdaptiveChunker, Endpoints, WorkerTransport
 from repro.exec.worker import worker_main
 from repro.faults import FaultPlan
 from repro.graph import dataset
-from repro.graph.generators import erdos_renyi
+from repro.graph.generators import erdos_renyi, star_graph
 from repro.graph.csr import attach_csr, share_csr
 from repro.obs import Observability
 from repro.patterns import catalog
@@ -179,12 +181,14 @@ def test_metrics_merge_matches_inline():
     report = proc.count_pattern(catalog.clique(3))
 
     def counters(obs):
-        # exec.* and net.peer_timeouts measure wall-clock execution,
-        # which only the process backend has
+        # exec.* and the transport-layer net.* names measure wall-clock
+        # execution, which only the process backend has
+        wallclock_net = {"net.peer_timeouts", "net.coalesced_requests",
+                         "net.coalesced_batch_vertices"}
         return {
             (name, labels): value
             for name, labels, value in obs.registry.dump()["counters"]
-            if not name.startswith("exec.") and name != "net.peer_timeouts"
+            if not name.startswith("exec.") and name not in wallclock_net
         }
 
     assert counters(obs_proc) == pytest.approx(counters(obs_inline))
@@ -326,44 +330,73 @@ def test_worker_death_recovery_matches_inline(monkeypatch):
     _assert_no_stray_children()
 
 
+def _ring_fabric(num_workers, capacity=1 << 16, liveness=True):
+    """An in-process fabric: real shared-memory rings, thread events.
+
+    Returns (endpoints, rings); the caller must unlink the rings (the
+    parent-side duty the fixture below automates).
+    """
+    rings = {
+        (s, r): create_ring(capacity)
+        for s in range(num_workers)
+        for r in range(num_workers)
+        if s != r
+    }
+    endpoints = Endpoints(
+        num_workers=num_workers,
+        inboxes=[queue.Queue() for _ in range(num_workers)],
+        rings={pair: ring.handle for pair, ring in rings.items()},
+        fallbacks=[queue.Queue() for _ in range(num_workers)],
+        deaths=([threading.Event() for _ in range(num_workers)]
+                if liveness else None),
+        stop=threading.Event() if liveness else None,
+    )
+    return endpoints, rings
+
+
+def _unlink_all(rings, *transports):
+    for transport in transports:
+        transport.close()
+    for ring in rings.values():
+        ring.unlink()
+
+
 @exec_faults
 def test_transport_collect_aborts_on_dead_peer():
+    # a worker dying while a peer blocks on its reply ring must surface
+    # PeerDeadError within a bounded wait — never hang on the ring
     graph = erdos_renyi(30, 120, seed=1)
-    endpoints = Endpoints(
-        num_workers=2,
-        inboxes=[queue.Queue(), queue.Queue()],
-        replies={(s, r): queue.Queue()
-                 for s in range(2) for r in range(2)},
-        deaths=[threading.Event(), threading.Event()],
-        stop=threading.Event(),
-    )
+    endpoints, rings = _ring_fabric(2)
     transport = WorkerTransport(0, endpoints, graph)
-    endpoints.deaths[1].set()  # the parent's watcher: worker 1 is dead
-    started = time.monotonic()
-    with pytest.raises(PeerDeadError) as excinfo:
-        transport.collect(0, 1, [0, 1])
-    # one bounded wait, not the 300s reply budget
-    assert time.monotonic() - started < 5.0
-    assert excinfo.value.peer_worker == 1
-    assert excinfo.value.server_machine == 1
-    assert transport.liveness_timeouts >= 1
+    try:
+        # the request reaches worker 1's inbox, but no responder ever
+        # serves it: its reply frame will never land on the ring
+        transport.post_chunk(0, [(1, [0, 1])])
+        endpoints.deaths[1].set()  # the parent's watcher: worker 1 died
+        started = time.monotonic()
+        with pytest.raises(PeerDeadError) as excinfo:
+            transport.collect(0, 1, [0, 1])
+        # one bounded wait, not the 300s reply budget
+        assert time.monotonic() - started < 5.0
+        assert excinfo.value.peer_worker == 1
+        assert excinfo.value.server_machine == 1
+        assert transport.liveness_timeouts >= 1
+    finally:
+        _unlink_all(rings, transport)
 
 
 @exec_faults
 def test_transport_collect_aborts_on_fleet_stop():
     graph = erdos_renyi(30, 120, seed=1)
-    endpoints = Endpoints(
-        num_workers=2,
-        inboxes=[queue.Queue(), queue.Queue()],
-        replies={(s, r): queue.Queue()
-                 for s in range(2) for r in range(2)},
-        deaths=[threading.Event(), threading.Event()],
-        stop=threading.Event(),
-    )
+    endpoints, rings = _ring_fabric(2)
     transport = WorkerTransport(0, endpoints, graph)
-    endpoints.stop.set()
-    with pytest.raises(PeerDeadError):
-        transport.collect(0, 1, [0])
+    try:
+        transport.post_chunk(0, [(1, [0])])
+        endpoints.stop.set()
+        with pytest.raises(PeerDeadError):
+            transport.collect(0, 1, [0])
+    finally:
+        _unlink_all(rings, transport)
 
 
 @exec_faults
@@ -372,7 +405,7 @@ def test_transport_join_unblocks_without_shutdown():
     endpoints = Endpoints(
         num_workers=1,
         inboxes=[queue.Queue()],
-        replies={(0, 0): queue.Queue()},
+        fallbacks=[queue.Queue()],
         stop=threading.Event(),
     )
     transport = WorkerTransport(0, endpoints, graph)
@@ -389,9 +422,155 @@ def test_transport_stop_unblocks_without_shutdown():
     endpoints = Endpoints(
         num_workers=1,
         inboxes=[queue.Queue()],
-        replies={(0, 0): queue.Queue()},
+        fallbacks=[queue.Queue()],
     )
     transport = WorkerTransport(0, endpoints, graph)
     transport.start()
     transport.stop()  # the worker's own finally-block escape hatch
     assert transport.join(timeout=5.0)
+
+
+# ======================================================================
+# shared-memory reply rings
+# ======================================================================
+def test_ring_round_trip_and_wraparound():
+    ring = create_ring(1024)
+    try:
+        peer = attach_ring(ring.handle)
+        rng = np.random.default_rng(7)
+        # frames of ~1/3 capacity force the write cursor across the
+        # segment edge repeatedly; every byte must survive the wrap
+        for _ in range(50):
+            frame = rng.integers(0, 255, size=300, dtype=np.uint8)
+            peer.write([frame])
+            out = ring.read_exact(len(frame))
+            assert np.array_equal(out, frame)
+        peer.close()
+    finally:
+        ring.unlink()
+
+
+def test_ring_backpressure_blocks_until_drained():
+    ring = create_ring(1024)
+    try:
+        producer = attach_ring(ring.handle)
+        first = np.full(700, 1, dtype=np.uint8)
+        second = np.full(700, 2, dtype=np.uint8)
+        producer.write([first])
+        done = threading.Event()
+
+        def blocked_write():
+            producer.write([second])  # 700 free < 1024: must wait
+            done.set()
+
+        thread = threading.Thread(target=blocked_write, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # backpressured, not dropped
+        assert np.array_equal(ring.read_exact(700), first)  # drain
+        assert done.wait(5.0)  # freed space unblocks the producer
+        assert np.array_equal(ring.read_exact(700), second)
+        assert producer.waits >= 1
+        thread.join(5.0)
+        producer.close()
+    finally:
+        ring.unlink()
+
+
+def test_ring_rejects_frames_larger_than_capacity():
+    ring = create_ring(1024)
+    try:
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.write([np.zeros(2048, dtype=np.uint8)])
+    finally:
+        ring.unlink()
+
+
+@exec_faults
+def test_ring_waits_abort_via_callback():
+    # both wait sides must re-check their abort callback: a consumer
+    # waiting on a dead producer and a producer waiting on a dead
+    # consumer both surface RingAborted instead of hanging
+    ring = create_ring(1024)
+    try:
+        dead = threading.Event()
+        dead.set()
+        with pytest.raises(RingAborted):
+            ring.read_exact(8, abort=dead.is_set)
+        ring.write([np.zeros(800, dtype=np.uint8)])
+        with pytest.raises(RingAborted):
+            ring.write([np.zeros(800, dtype=np.uint8)], abort=dead.is_set)
+    finally:
+        ring.unlink()
+
+
+def test_transport_oversized_payload_takes_fallback():
+    # the hub's edge list exceeds the ring capacity: the reply must
+    # travel pickled on the fallback queue, announced by a marker
+    # frame, and still reassemble bit-identically
+    graph = star_graph(600)  # hub degree 600 x int32 > 1024-byte ring
+    endpoints, rings = _ring_fabric(2, capacity=1024)
+    requester = WorkerTransport(0, endpoints, graph)
+    responder = WorkerTransport(1, endpoints, graph)
+    responder.start()
+    try:
+        requester.post_chunk(0, [(1, [0, 1, 2])])
+        payload = requester.collect(0, 1, [0, 1, 2])
+        expected, _ = graph.neighbors_batch(np.array([0, 1, 2]))
+        assert np.array_equal(payload, expected)
+        assert requester.fallbacks_received >= 1
+        assert responder.fallbacks_served >= 1
+    finally:
+        endpoints.inboxes[1].put(SHUTDOWN)
+        responder.join(timeout=5.0)
+        _unlink_all(rings, requester, responder)
+
+
+def test_transport_round_trip_matches_direct_reads():
+    # in-budget frames stream through the ring; the reassembled
+    # per-machine payloads must match direct graph reads exactly
+    graph = erdos_renyi(200, 2000, seed=9)
+    endpoints, rings = _ring_fabric(2, capacity=1 << 15)
+    requester = WorkerTransport(0, endpoints, graph)
+    responder = WorkerTransport(1, endpoints, graph)
+    responder.start()
+    try:
+        batches = [(1, list(range(1, 40))), (3, list(range(40, 90)))]
+        requester.post_chunk(0, batches)
+        for machine, vertices in batches:
+            payload = requester.collect(0, machine, vertices)
+            expected, _ = graph.neighbors_batch(
+                np.asarray(vertices, dtype=np.int64))
+            assert np.array_equal(payload, expected)
+        assert requester.fallbacks_received == 0
+        assert requester.frames_received >= 1
+        # machines 0 and 2 live on worker 0 itself: local fast path
+        local = requester.collect(0, 2, [5, 6])
+        expected, _ = graph.neighbors_batch(np.array([5, 6]))
+        assert np.array_equal(local, expected)
+        assert requester.local_requests == 1
+    finally:
+        endpoints.inboxes[1].put(SHUTDOWN)
+        responder.join(timeout=5.0)
+        _unlink_all(rings, requester, responder)
+
+
+def test_adaptive_chunker_grows_and_shrinks():
+    chunker = AdaptiveChunker(1 << 20, min_bytes=4096)
+    start = chunker.target_bytes
+    chunker.begin_round()   # no previous round: no adaptation
+    chunker.begin_round()   # instant previous round: IPC-dominated
+    assert chunker.target_bytes == min(start * 2, chunker.max_bytes)
+    assert chunker.grows == 1
+    chunker._round_started -= 10.0  # fake a long round
+    chunker.begin_round()
+    assert chunker.shrinks == 1
+    # clamped: never below min_bytes, never above ring capacity
+    for _ in range(40):
+        chunker._round_started -= 10.0
+        chunker.begin_round()
+    assert chunker.target_bytes == chunker.min_bytes
+    for _ in range(40):
+        chunker._round_started = time.perf_counter()
+        chunker.begin_round()
+    assert chunker.target_bytes == chunker.max_bytes
