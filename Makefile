@@ -13,10 +13,11 @@ TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && ech
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest $(TIMEOUT_FLAGS)
 
 .PHONY: test suite docs-check faults-check exec-check exec-faults-check \
-	perf-check perf-bench bench
+	chaos-check perf-check perf-bench bench
 
 ## tier-1: full suite, then the docs/fault/backend/perf contracts
-test: suite docs-check faults-check exec-check exec-faults-check perf-check
+test: suite docs-check faults-check exec-check exec-faults-check \
+	chaos-check perf-check
 
 suite:
 	$(PYTEST) -x -q
@@ -37,6 +38,13 @@ exec-check:
 ## "Real-process failure semantics") — kills real worker processes
 exec-faults-check:
 	$(PYTEST) -m exec_faults -q
+
+## chaos suite: real SIGKILLs of workers and the whole parent against
+## durable checkpoints — resumed/redistributed counts must match the
+## clean oracle bit-identically (docs/faults.md, "Durability")
+chaos-check:
+	PYTHONPATH=src:. $(PYTHON) -m pytest $(TIMEOUT_FLAGS) \
+		benchmarks/chaos.py -q
 
 ## wall-clock perf gates: tiny-graph smoke (batched EXTEND never loses
 ## to scalar, counts agree) plus the headline process-backend speedup

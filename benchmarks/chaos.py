@@ -1,0 +1,229 @@
+"""Chaos harness: real SIGKILLs against durable checkpoints.
+
+Every fault elsewhere in the repo is either simulated (fault plans) or
+scoped to one worker process (``tests/test_exec.py``). This harness
+kills *real processes mid-run* — workers and the whole parent — and
+asserts the durability contract of docs/faults.md end to end:
+
+- a run killed between checkpoints restarts with ``--resume``, skips
+  every completed root chunk, and reproduces the clean oracle's counts
+  bit-identically (inline and process backends, including a
+  kill-resume-kill-resume double fault);
+- a run losing a worker to SIGKILL under ``--on-worker-death recover``
+  completes through surviving-*worker* redistribution — no inline
+  fallback — with identical counts.
+
+Kill points are seed-deterministic, not timing races: the
+``REPRO_CHAOS`` environment hooks (``parent-kill:<n>``,
+``worker-kill:<wid>:<n>``; see ``repro.faults.durability`` and
+``repro.exec.worker``) fire at exact flush/delta ordinals, so every
+scenario reproduces byte-for-byte.
+
+Two entry points:
+
+- ``pytest benchmarks/chaos.py`` — what ``make chaos-check`` runs.
+- ``python benchmarks/chaos.py [--out chaos.json]`` — the same
+  scenarios as a standalone sweep, emitting one JSON document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: the chaos job: small enough that a full matrix stays in CI budget,
+#: chunked finely enough (1 KiB chunks) that every machine emits
+#: several checkpointable root chunks
+JOB = ("--graph", "mico", "--scale", "0.05", "--machines", "4",
+       "--chunk-bytes", "1024", "--no-auto-fit", "--pattern", "clique3")
+
+CLI_TIMEOUT = 240
+
+
+def run_cli(extra, chaos=None, check=True):
+    """One ``python -m repro count`` run of the chaos job."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.pop("REPRO_CHAOS", None)
+    if chaos:
+        env["REPRO_CHAOS"] = chaos
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "count", *JOB,
+         "--metrics", "json", *extra],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=CLI_TIMEOUT,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"chaos run failed ({proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}")
+    return proc
+
+
+def report_of(proc):
+    return json.loads(proc.stdout)["report"]
+
+
+def clean_oracle():
+    """The uninterrupted run every scenario's counts must match."""
+    return report_of(run_cli([]))
+
+
+def _assert_killed(proc):
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL ({-signal.SIGKILL}), got {proc.returncode}:\n"
+        f"{proc.stdout}\n{proc.stderr}")
+
+
+# ---------------------------------------------------------------------
+# scenarios — each returns a JSON-able summary row and raises on a
+# violated invariant
+# ---------------------------------------------------------------------
+def scenario_parent_kill_inline(oracle, directory):
+    """SIGKILL the inline run after its 2nd flush, resume, compare."""
+    killed = run_cli(["--checkpoint-dir", directory],
+                     chaos="parent-kill:2", check=False)
+    _assert_killed(killed)
+    resumed = report_of(run_cli(
+        ["--checkpoint-dir", directory, "--resume"]))
+    assert resumed["counts"] == oracle["counts"], (
+        resumed["counts"], oracle["counts"])
+    stats = resumed["extra"]["checkpoint"]
+    assert stats["resumed_roots"] > 0
+    return {"scenario": "parent-kill-inline",
+            "counts": resumed["counts"],
+            "resumed_roots": stats["resumed_roots"]}
+
+
+def scenario_parent_kill_resume_kill(oracle, directory):
+    """Double fault: the *resumed* run is killed too, then resumed."""
+    _assert_killed(run_cli(["--checkpoint-dir", directory],
+                           chaos="parent-kill:1", check=False))
+    # the resumed run redoes the unfinished tail and dies again at its
+    # own 1st flush — absolute cursors make the log idempotent, so no
+    # compaction is needed between the two faults
+    _assert_killed(run_cli(["--checkpoint-dir", directory, "--resume"],
+                           chaos="parent-kill:1", check=False))
+    resumed = report_of(run_cli(
+        ["--checkpoint-dir", directory, "--resume"]))
+    assert resumed["counts"] == oracle["counts"], (
+        resumed["counts"], oracle["counts"])
+    return {"scenario": "parent-kill-resume-kill",
+            "counts": resumed["counts"],
+            "resumed_roots": resumed["extra"]["checkpoint"]
+            ["resumed_roots"]}
+
+
+def scenario_parent_kill_process_backend(oracle, directory):
+    """SIGKILL the whole process-backend fleet's parent; resume reaps
+    the leaked shared-memory segments and finishes the counts."""
+    killed = run_cli(
+        ["--checkpoint-dir", directory, "--backend", "process",
+         "--workers", "2"],
+        chaos="parent-kill:2", check=False)
+    _assert_killed(killed)
+    ledger = Path(directory) / "shm.json"
+    assert ledger.exists(), "killed parent should leave its shm ledger"
+    leaked = json.loads(ledger.read_text())["segments"]
+    resumed = report_of(run_cli(
+        ["--checkpoint-dir", directory, "--backend", "process",
+         "--workers", "2", "--resume"]))
+    assert resumed["counts"] == oracle["counts"], (
+        resumed["counts"], oracle["counts"])
+    assert not ledger.exists(), "clean exit should clear the ledger"
+    still_alive = [name for name in leaked
+                   if os.path.exists(f"/dev/shm/{name}")]
+    assert not still_alive, f"segments leaked: {still_alive}"
+    return {"scenario": "parent-kill-process",
+            "counts": resumed["counts"],
+            "reaped_segments": len(leaked)}
+
+
+def scenario_worker_kill_redistributes(oracle, workers):
+    """SIGKILL worker 1 after its 1st shipped delta; survivors must
+    replay its machines (no inline fallback) to identical counts."""
+    report = report_of(run_cli(
+        ["--backend", "process", "--workers", str(workers),
+         "--on-worker-death", "recover", "--heartbeat", "0.2"],
+        chaos="worker-kill:1:1"))
+    assert report["counts"] == oracle["counts"], (
+        report["counts"], oracle["counts"])
+    assert report["failure"]["outcome"] == "RECOVERED", report["failure"]
+    redistribution = report["extra"]["exec"]["redistribution"]
+    assert redistribution["inline_fallback"] == 0, redistribution
+    assert redistribution["machines"] >= 1
+    return {"scenario": f"worker-kill-{workers}w",
+            "counts": report["counts"],
+            "redistribution": redistribution}
+
+
+# ---------------------------------------------------------------------
+# pytest entry points (make chaos-check)
+# ---------------------------------------------------------------------
+import pytest
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return clean_oracle()
+
+
+def test_chaos_parent_kill_inline(oracle, tmp_path):
+    scenario_parent_kill_inline(oracle, str(tmp_path))
+
+
+def test_chaos_parent_kill_resume_kill(oracle, tmp_path):
+    scenario_parent_kill_resume_kill(oracle, str(tmp_path))
+
+
+def test_chaos_parent_kill_process_backend(oracle, tmp_path):
+    scenario_parent_kill_process_backend(oracle, str(tmp_path))
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_chaos_worker_kill_redistributes(oracle, workers):
+    scenario_worker_kill_redistributes(oracle, workers)
+
+
+# ---------------------------------------------------------------------
+# standalone sweep
+# ---------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the scenario summary JSON here")
+    args = parser.parse_args(argv)
+
+    oracle_report = clean_oracle()
+    rows = []
+    with tempfile.TemporaryDirectory() as d1:
+        rows.append(scenario_parent_kill_inline(oracle_report, d1))
+    with tempfile.TemporaryDirectory() as d2:
+        rows.append(scenario_parent_kill_resume_kill(oracle_report, d2))
+    with tempfile.TemporaryDirectory() as d3:
+        rows.append(scenario_parent_kill_process_backend(oracle_report, d3))
+    for workers in (2, 4):
+        rows.append(scenario_worker_kill_redistributes(
+            oracle_report, workers))
+
+    document = {"job": " ".join(JOB), "oracle_counts":
+                oracle_report["counts"], "scenarios": rows}
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

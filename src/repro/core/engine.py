@@ -79,6 +79,17 @@ class EngineConfig:
     #: reassign a crashed machine's remaining work to survivors; with
     #: False, a crash ends the run with a partial CRASHED report
     recover: bool = True
+    #: durable chunk-granular checkpoints (docs/faults.md,
+    #: "Durability"): persist the recovery cursor under this directory
+    #: so a killed run can restart with ``resume`` and skip completed
+    #: root chunks; None = no persistence
+    checkpoint_dir: Optional[str] = None
+    #: make every N-th completed root chunk durable (log fsync +
+    #: aggregates snapshot); larger = less IO, more replay after a kill
+    checkpoint_every: int = 1
+    #: start from the checkpoint under ``checkpoint_dir`` instead of
+    #: from scratch; the manifest must fingerprint-match this run
+    resume: bool = False
 
     def __post_init__(self):
         if self.chunk_bytes < 1024:
@@ -89,6 +100,20 @@ class EngineConfig:
             raise ConfigurationError(
                 "extend_mode must be 'batched' or 'scalar', "
                 f"got {self.extend_mode!r}"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
+        if self.resume and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "resume requires checkpoint_dir (nothing to resume from)"
+            )
+        if (self.checkpoint_dir is not None and self.faults is not None
+                and not self.faults.empty):
+            raise ConfigurationError(
+                "durable checkpoints and injected fault plans are "
+                "mutually exclusive: simulated crash recovery reassigns "
+                "roots across machines, which the per-machine durable "
+                "cursor does not describe (docs/faults.md)"
             )
 
     @staticmethod
@@ -183,6 +208,9 @@ class KhuzdulEngine:
             return self.backend.execute(
                 self, schedules, udf, system, app, graph_name
             )
+        if self.config.checkpoint_dir is not None:
+            return self._execute_durable(schedules, udf, system, app,
+                                         graph_name)
         return self._execute_inline(schedules, udf, system, app, graph_name)
 
     def execute_hosted(
@@ -194,6 +222,8 @@ class KhuzdulEngine:
         graph_name: str,
         hosted: set,
         transport=None,
+        checkpoint_sink=None,
+        resume: Optional[dict] = None,
     ) -> tuple[list[int], RunReport]:
         """Run only ``hosted`` machine ids through the inline path.
 
@@ -204,11 +234,94 @@ class KhuzdulEngine:
         changes *which* schedulers run, never what any of them
         computes — which is why a re-executed subset reproduces a lost
         worker's counts and simulated measurements bit-exactly.
+
+        ``checkpoint_sink``/``resume`` are the durability hooks
+        (docs/faults.md): the sink observes every completed root
+        chunk's absolute cursor, and ``resume`` seeds schedulers past
+        already-completed roots.
         """
         return self._execute_inline(
             schedules, udf, system, app, graph_name,
             hosted=hosted, transport=transport,
+            checkpoint_sink=checkpoint_sink, resume=resume,
         )
+
+    def _execute_durable(
+        self,
+        schedules: list[Schedule],
+        udf: Optional[MultiUdf],
+        system: str,
+        app: str,
+        graph_name: str,
+    ) -> tuple[list[int], RunReport]:
+        """Inline execution under a durable checkpoint directory.
+
+        Opens (or resumes) the :class:`CheckpointSession`, feeds it
+        every completed root chunk, and restores mergeable UDF state
+        from the aggregates snapshot on resume. A killed run restarted
+        with ``resume=True`` skips completed chunks and reproduces the
+        uninterrupted run's counts bit-exactly (docs/faults.md).
+        """
+        import pickle
+
+        from repro.faults import durability
+
+        config = self.config
+        manifest = durability.run_manifest(
+            self.cluster, schedules, config, system, app, graph_name
+        )
+        session = durability.CheckpointSession(
+            config.checkpoint_dir, manifest,
+            num_patterns=len(schedules),
+            every=config.checkpoint_every,
+            resume=config.resume,
+        )
+        obs = self.obs
+
+        if udf is not None:
+            if not callable(getattr(udf, "merge", None)):
+                raise ConfigurationError(
+                    "durable checkpoints need a mergeable UDF: resumed "
+                    "runs restore snapshotted state via udf.merge(other) "
+                    "(plain callables/closures run without "
+                    "checkpoint_dir only)"
+                )
+            try:
+                pickle.dumps(udf)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"durable checkpoints need a picklable UDF (its "
+                    f"state is snapshotted every flush): {exc}"
+                ) from exc
+            if config.resume and session.snapshot_udf is not None:
+                udf.merge(pickle.loads(session.snapshot_udf))
+
+        def snapshot_extra() -> dict:
+            return {
+                "udf": pickle.dumps(udf) if udf is not None else None,
+                "metrics": obs.registry.dump() if obs.enabled else None,
+            }
+
+        session.snapshot_extra = snapshot_extra
+        resume_state = (
+            session.resume_state(with_udf=udf is not None)
+            if config.resume else None
+        )
+        counts, report = self._execute_inline(
+            schedules, udf, system, app, graph_name,
+            checkpoint_sink=session.record, resume=resume_state,
+        )
+        session.finalize()
+        stats = session.stats()
+        report.extra["checkpoint"] = stats
+        if obs.enabled:
+            scope = obs.registry.scope()
+            scope.counter(names.CHECKPOINT_RECORDS).inc(stats["records"])
+            scope.counter(names.CHECKPOINT_FLUSHES).inc(stats["flushes"])
+            scope.counter(names.CHECKPOINT_RESUMED_ROOTS).inc(
+                stats["resumed_roots"]
+            )
+        return counts, report
 
     def _execute_inline(
         self,
@@ -219,6 +332,8 @@ class KhuzdulEngine:
         graph_name: str,
         hosted: Optional[set] = None,
         transport=None,
+        checkpoint_sink=None,
+        resume: Optional[dict] = None,
     ) -> tuple[list[int], RunReport]:
         """The simulated single-process execution path.
 
@@ -229,6 +344,15 @@ class KhuzdulEngine:
         circulant batch's edge lists over real inter-process queues.
         Neither changes any simulated quantity, which is what keeps
         backend counts bit-identical.
+
+        ``checkpoint_sink(pattern, machine, roots, matches)`` observes
+        every completed root chunk with its *absolute* cursor;
+        ``resume`` maps ``(pattern, machine)`` to an already-completed
+        ``(roots, matches)`` prefix, which is sliced off the machine's
+        root set and seeded into its counts before the scheduler runs.
+        Roots are enumerated in a deterministic order, so skipping a
+        completed prefix reproduces exactly the remaining work — the
+        durability contract of docs/faults.md.
         """
         cluster = self.cluster
         config = self.config
@@ -330,13 +454,28 @@ class KhuzdulEngine:
                     chunk_bytes = max(1024, min(chunk_bytes, headroom))
                 # Work queue of (machine, roots) shards. Fault-free runs
                 # enqueue exactly one shard per machine; crash recovery
-                # appends the orphaned remainder as survivor shards.
-                shards: deque[_Shard] = deque(
-                    _Shard(machine.machine_id,
-                           self._roots_for(machine.machine_id, schedule))
-                    for machine in cluster.machines
-                    if hosted is None or machine.machine_id in hosted
-                )
+                # appends the orphaned remainder as survivor shards. A
+                # durable resume slices each machine's completed prefix
+                # off and seeds its checkpointed matches directly.
+                shards: deque[_Shard] = deque()
+                for machine in cluster.machines:
+                    if (hosted is not None
+                            and machine.machine_id not in hosted):
+                        continue
+                    roots = self._roots_for(machine.machine_id, schedule)
+                    base_roots = base_matches = 0
+                    if resume:
+                        base_roots, base_matches = resume.get(
+                            (index, machine.machine_id), (0, 0)
+                        )
+                        if base_roots:
+                            base_roots = min(base_roots, len(roots))
+                            counts[index] += base_matches
+                            roots = roots[base_roots:]
+                    shards.append(_Shard(
+                        machine.machine_id, roots,
+                        base_roots=base_roots, base_matches=base_matches,
+                    ))
                 while shards:
                     shard = shards.popleft()
                     mid = shard.machine_id
@@ -395,6 +534,11 @@ class KhuzdulEngine:
                         faults=injector,
                         transport=transport,
                         batched_extend=(config.extend_mode == "batched"),
+                        checkpoint_sink=(
+                            _make_shard_sink(checkpoint_sink, index, shard)
+                            if checkpoint_sink is not None
+                            and not shard.recovery else None
+                        ),
                     )
                     try:
                         shard_matches = scheduler.run(shard.roots)
@@ -658,11 +802,32 @@ class _Shard:
 
     ``recovery`` marks shards created by reassignment, whose chunk
     creations feed the ``recovery.reassigned_chunks`` metric.
+    ``base_roots``/``base_matches`` are the durable-resume prefix that
+    was sliced off this machine's root set — the offsets that turn the
+    scheduler's shard-relative checkpoint cursor back into the absolute
+    one the chunk log records.
     """
 
     machine_id: int
     roots: np.ndarray
     recovery: bool = False
+    base_roots: int = 0
+    base_matches: int = 0
+
+
+def _make_shard_sink(sink, pattern: int, shard: "_Shard"):
+    """Adapt the engine-level checkpoint sink to one scheduler: add the
+    pattern index and rebase the shard-relative cursor to absolute."""
+    machine_id = shard.machine_id
+    base_roots = shard.base_roots
+    base_matches = shard.base_matches
+
+    def on_checkpoint(ckpt) -> None:
+        sink(pattern, machine_id,
+             base_roots + ckpt.roots_completed,
+             base_matches + ckpt.matches)
+
+    return on_checkpoint
 
 
 #: Default UDF: counting only. The sentinel lives in the scheduler

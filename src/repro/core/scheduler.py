@@ -126,6 +126,7 @@ class MachineScheduler:
         faults: Optional[FaultInjector] = None,
         transport=None,
         batched_extend: bool = True,
+        checkpoint_sink: Optional[Callable] = None,
     ):
         self.cluster = cluster
         self.machine = machine
@@ -170,6 +171,12 @@ class MachineScheduler:
         #: enumeration cursor at the last completed root chunk — what a
         #: crashed machine's recovery restarts from (docs/faults.md)
         self.checkpoint = Checkpoint(machine_id=machine.machine_id)
+        #: durability hook (docs/faults.md): called with the updated
+        #: Checkpoint at every completed root chunk, so the engine can
+        #: persist the cursor (or a process-backend worker can ship it
+        #: to the parent). Observation only — simulated accounting and
+        #: counts are identical with or without a sink.
+        self.checkpoint_sink = checkpoint_sink
         self.checkpoints_taken = 0
         self.matches = 0
         self.chunks_created = 0
@@ -256,6 +263,8 @@ class MachineScheduler:
             seconds = self.cost.task_schedule
             self.machine.clock.scheduler += seconds
             self._m_t_scheduler.inc(seconds)
+        if self.checkpoint_sink is not None:
+            self.checkpoint_sink(ckpt)
 
     # ------------------------------------------------------------------
     # main loop

@@ -111,5 +111,26 @@ class PeerDeadError(ReproError):
         )
 
 
+class TransportCorruptionError(ReproError):
+    """A reply-ring frame failed magic/sequence validation.
+
+    Every frame the process backend's responder publishes starts with a
+    magic word and a per-pair monotone sequence number
+    (:mod:`repro.exec.transport`); a reader that finds anything else is
+    consuming a corrupt or misframed ring. The worker reports it as an
+    uncaught error, so the parent returns a structured ``CRASHED``
+    report — never silently garbled counts.
+    """
+
+    def __init__(self, worker_id: int, peer_worker: int, detail: str):
+        self.worker_id = worker_id
+        self.peer_worker = peer_worker
+        self.detail = detail
+        super().__init__(
+            f"worker {worker_id}: corrupt reply ring from worker "
+            f"{peer_worker}: {detail}"
+        )
+
+
 class ConfigurationError(ReproError):
     """An engine or cluster was configured inconsistently."""

@@ -49,6 +49,38 @@ ERROR = "error"
 #: sender as lost (its compute aborted) and applies the
 #: ``on_worker_death`` policy
 PEER_DEAD = "peer_dead"
+#: completed-root-chunk delta — payload is ``(pattern, machine, roots,
+#: matches)`` with the *absolute* cursor. Workers ship one per root
+#: chunk so the parent always knows the fleet's progress: with a
+#: checkpoint directory it appends them to the durable log, and on a
+#: worker death the redistribution pass uses them to skip the dead
+#: worker's completed chunks (docs/execution.md)
+CKPT = "ckpt"
+#: a redistributed-recovery replay finished — payload has the same
+#: shape as a RESULT payload, restricted to the replayed machines
+RECOVERY = "recovery"
+
+# ---------------------------------------------------------------------
+# control-queue messages (parent -> worker, after the worker's RESULT)
+# ---------------------------------------------------------------------
+#: no (more) recovery work: leave the control loop, await SHUTDOWN
+DONE = "__exec_done__"
+
+
+@dataclass(frozen=True)
+class RecoverAssignment:
+    """Replay these machines on the receiving (surviving) worker.
+
+    Sent on a survivor's control queue when a peer died under
+    ``--on-worker-death recover``. ``resume`` maps
+    ``(pattern, machine)`` to the dead worker's last shipped cursor
+    ``(roots, matches)``, so the survivor skips chunks the dead worker
+    already completed — the same resume mechanism durable checkpoints
+    use (docs/faults.md).
+    """
+
+    machines: tuple[int, ...]
+    resume: dict
 
 
 @dataclass(frozen=True)

@@ -19,13 +19,27 @@ Execution plan (docs/execution.md):
    notice is published to the fleet (so peers blocked on its replies
    abort within a bounded wait instead of deadlocking), and the
    ``on_worker_death`` policy applies — ``fail`` returns a structured
-   ``CRASHED`` report immediately, ``recover`` re-executes the lost
-   workers' hosted machines through the deterministic inline path and
-   reports ``RECOVERED`` with complete counts.
+   ``CRASHED`` report immediately, ``recover`` *redistributes* the
+   lost workers' machines across the surviving workers (each survivor
+   replays its share against the shared graph, resuming past the
+   chunks the dead worker's shipped checkpoint deltas already cover)
+   and reports ``RECOVERED`` with complete counts. The parent replays
+   inline only machines no survivor could cover (survivor died
+   mid-recovery, or no survivors at all).
 4. Broadcast the shutdown sentinel (a worker's responder must outlive
    its own compute — other workers may still fetch from it), collect
    responder stats, and join. Shared-memory segments are unlinked on
-   every exit path.
+   every exit path — including SIGINT/SIGTERM and interpreter exit,
+   via chained signal handlers and an ``atexit`` hook registered for
+   the duration of the run.
+
+Durability (docs/faults.md): workers ship one ``CKPT`` delta per
+completed root chunk — the parent's in-memory progress ledger feeds
+redistribution, and with ``checkpoint_dir`` set the parent also owns a
+:class:`~repro.faults.durability.CheckpointSession`, appending deltas
+to the durable log so a killed run resumes (workers receive the resume
+map and skip completed chunks). A ``shm.json`` ledger of live segment
+names lets a resumed run reap segments leaked by a SIGKILLed parent.
 5. Merge: counts sum; worker partial reports fold through
    ``merge_reports(parallel=True)``; cluster-global fields that need
    cross-worker data (machine finish times, traffic matrix, cache hit
@@ -52,9 +66,12 @@ like :class:`~repro.systems.base.MniDomainCollector`).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import os
 import pickle
 import queue as queue_mod
+import signal
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional
@@ -64,7 +81,17 @@ from repro.core.engine import KhuzdulEngine
 from repro.core.runtime import RunReport
 from repro.errors import ConfigurationError
 from repro.exec.backend import Backend
-from repro.exec.messages import ERROR, PEER_DEAD, RESULT, SHUTDOWN, STATS
+from repro.exec.messages import (
+    CKPT,
+    DONE,
+    ERROR,
+    PEER_DEAD,
+    RECOVERY,
+    RESULT,
+    SHUTDOWN,
+    STATS,
+    RecoverAssignment,
+)
 from repro.exec.ring import create_ring
 from repro.exec.transport import (
     Endpoints,
@@ -72,6 +99,7 @@ from repro.exec.transport import (
     zero_responder_stats,
 )
 from repro.exec.worker import worker_main
+from repro.faults import durability
 from repro.faults.recovery import (
     FailureSummary,
     Outcome,
@@ -111,7 +139,12 @@ class _FleetState:
     peer_timeout_messages: int = 0
     #: worker_id -> human-readable death reason
     deaths: dict = field(default_factory=dict)
-    #: lost workers whose hosted machines were re-executed inline
+    #: workers that aborted on a dead peer (PEER_DEAD): their compute
+    #: is lost like a death, but the *process* is alive in its control
+    #: loop — a valid target for redistributed replays
+    aborted: set = field(default_factory=set)
+    #: lost workers whose hosted machines were replayed (on survivors
+    #: or inline)
     reexecuted: set = field(default_factory=set)
 
 
@@ -181,6 +214,12 @@ class ProcessBackend(Backend):
                 "process backend does not replicate cross-worker crash "
                 "recovery (docs/execution.md)"
             )
+        if config.checkpoint_dir is not None and udf is not None:
+            raise ConfigurationError(
+                "durable checkpoints with a UDF require the inline "
+                "backend: per-worker UDF state cannot be snapshotted "
+                "consistently across processes (docs/faults.md)"
+            )
         self._validate_udf(udf)
         machines = cluster.num_machines
         workers = self.workers if self.workers else machines
@@ -188,6 +227,34 @@ class ProcessBackend(Backend):
         obs = engine.obs
         obs.reset()
         cluster.reset_clocks()  # the parent cluster sits idle; keep it clean
+
+        # durable checkpointing: the parent owns the session — workers
+        # only ship deltas (docs/faults.md)
+        session = None
+        resume_state = None
+        if config.checkpoint_dir is not None:
+            manifest = durability.run_manifest(
+                cluster, schedules, config, system, app, graph_name)
+            session = durability.CheckpointSession(
+                config.checkpoint_dir, manifest, len(schedules),
+                every=config.checkpoint_every, resume=config.resume)
+            if config.resume:
+                durability.reap_stale_segments(config.checkpoint_dir)
+                resume_state = session.resume_state()
+            session.snapshot_extra = lambda: {
+                "udf": None,
+                "metrics": obs.registry.dump() if obs.enabled else None,
+            }
+        #: fleet-wide progress ledger, (pattern, machine) -> absolute
+        #: (roots, matches) cursor; feeds redistribution resume maps
+        progress: dict = dict(resume_state) if resume_state else {}
+
+        def on_ckpt(pattern, machine, roots, matches):
+            key = (pattern, machine)
+            if roots > progress.get(key, (0, 0))[0]:
+                progress[key] = (roots, matches)
+            if session is not None:
+                session.record(pattern, machine, roots, matches)
 
         context = self._context()
         started = perf_counter()
@@ -197,6 +264,21 @@ class ProcessBackend(Backend):
         endpoints = None
         rings = {}
         fleet = _FleetState()
+
+        def unlink_segments():
+            # idempotent: every unlink below tolerates a repeat call,
+            # so the signal/atexit hooks and the finally block may race
+            for ring in list(rings.values()):
+                try:
+                    ring.unlink()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+            try:
+                shared.unlink()
+            except Exception:  # pragma: no cover - best effort
+                pass
+
+        previous_handlers = self._install_janitor(unlink_segments)
         try:
             result_queue = context.Queue()
             # one shared-memory reply ring per ordered worker pair
@@ -209,6 +291,12 @@ class ProcessBackend(Backend):
                 for requester in range(workers)
                 if server != requester
             }
+            if session is not None:
+                durability.write_shm_names(
+                    config.checkpoint_dir,
+                    shared.handle.segment_names()
+                    + [ring.handle.name for ring in rings.values()],
+                )
             endpoints = Endpoints(
                 num_workers=workers,
                 inboxes=[context.Queue() for _ in range(workers)],
@@ -216,6 +304,11 @@ class ProcessBackend(Backend):
                 fallbacks=[context.Queue() for _ in range(workers)],
                 deaths=[context.Event() for _ in range(workers)],
                 stop=context.Event(),
+                controls=(
+                    [context.Queue() for _ in range(workers)]
+                    if self.on_worker_death == "recover" else None
+                ),
+                parent_pid=os.getpid(),
             )
             job = (system, app, graph_name)
             for worker_id in range(workers):
@@ -223,7 +316,7 @@ class ProcessBackend(Backend):
                     target=worker_main,
                     args=(worker_id, workers, shared.handle, cluster.config,
                           config, list(schedules), udf, job, obs.enabled,
-                          endpoints, result_queue),
+                          endpoints, result_queue, resume_state),
                     name=f"repro-exec-{worker_id}",
                     daemon=True,
                 ))
@@ -235,6 +328,7 @@ class ProcessBackend(Backend):
                     result_queue, processes, endpoints,
                     set(range(workers)), RESULT, fleet,
                     fail_fast=(self.on_worker_death == "fail"),
+                    ckpt=on_ckpt,
                 )
             except _CollectTimeout as exc:
                 return self._failed_report(
@@ -248,12 +342,48 @@ class ProcessBackend(Backend):
                     workers, perf_counter() - started, fleet,
                     Outcome.CRASHED, None,
                 )
+            entries = [
+                {**payload, "worker_id": worker_id, "kind": "result"}
+                for worker_id, payload in sorted(results.items())
+            ]
+            lost = sorted(set(range(workers)) - set(results))
+            redistribution = None
+            if lost:
+                # on_worker_death == "recover": redistribute the lost
+                # workers' machines across the survivors; the progress
+                # ledger (the dead workers' shipped deltas) lets each
+                # replay skip already-completed chunks
+                fleet.reexecuted = set(lost)
+                # replay targets: workers that returned a result, plus
+                # aborted-on-a-dead-peer workers — their compute died
+                # but the process is alive in its control loop
+                survivors = sorted(set(results) | fleet.aborted)
+                try:
+                    recovery_entries, redistribution = self._redistribute(
+                        result_queue, processes, endpoints, engine,
+                        schedules, udf, system, app, graph_name, lost,
+                        survivors, workers, machines, fleet,
+                        progress, on_ckpt,
+                    )
+                except _CollectTimeout as exc:
+                    return self._failed_report(
+                        engine, system, app, graph_name, len(schedules),
+                        workers, perf_counter() - started, fleet,
+                        Outcome.TIMEOUT, str(exc),
+                    )
+                entries.extend(recovery_entries)
+            # release survivors from their control loops before the
+            # shutdown sentinel so responders drain in order
+            if endpoints.controls is not None:
+                for control in endpoints.controls:
+                    control.put(DONE)
             for inbox in endpoints.inboxes:
                 inbox.put(SHUTDOWN)
             try:
                 stats = self._collect(
                     result_queue, processes, endpoints,
-                    set(results), STATS, fleet, fail_fast=False,
+                    set(results) - set(fleet.deaths), STATS, fleet,
+                    fail_fast=False, ckpt=on_ckpt,
                 )
             except _CollectTimeout as exc:
                 return self._failed_report(
@@ -261,16 +391,6 @@ class ProcessBackend(Backend):
                     workers, perf_counter() - started, fleet,
                     Outcome.TIMEOUT, str(exc),
                 )
-            lost = sorted(set(range(workers)) - set(results))
-            if lost:
-                # on_worker_death == "recover": replay every lost
-                # worker's hosted machines through the inline path —
-                # deterministic, so the merged counts stay exact
-                fleet.reexecuted = set(lost)
-                results.update(self._reexecute(
-                    engine, schedules, udf, system, app, graph_name,
-                    lost, workers,
-                ))
             for worker_id in range(workers):
                 stats.setdefault(worker_id, zero_responder_stats())
         finally:
@@ -289,13 +409,62 @@ class ProcessBackend(Backend):
                 if process.is_alive():
                     process.terminate()
                     process.join(timeout=10.0)
-            for ring in rings.values():
-                ring.unlink()
-            shared.unlink()
+            unlink_segments()
+            self._remove_janitor(unlink_segments, previous_handlers)
+            if session is not None:
+                durability.clear_shm_names(config.checkpoint_dir)
         wall = perf_counter() - started
-        return self._merge(engine, udf, system, app, graph_name,
-                           len(schedules), workers, results, stats, wall,
-                           fleet)
+        counts, report = self._merge(
+            engine, udf, system, app, graph_name, len(schedules),
+            workers, entries, stats, wall, fleet, redistribution)
+        if session is not None:
+            session.finalize()
+            report.extra["checkpoint"] = session.stats()
+            if obs.enabled:
+                scope = obs.registry.scope()
+                scope.counter(names.CHECKPOINT_RECORDS).inc(
+                    session.records_written)
+                scope.counter(names.CHECKPOINT_FLUSHES).inc(session.flushes)
+                scope.counter(names.CHECKPOINT_RESUMED_ROOTS).inc(
+                    session.stats()["resumed_roots"])
+        return counts, report
+
+    # ------------------------------------------------------------------
+    # shared-memory janitor: segments must not outlive an interrupted
+    # run (SIGINT/SIGTERM mid-execution, or interpreter exit)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _install_janitor(cleanup) -> dict:
+        atexit.register(cleanup)
+        previous: dict = {}
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                def handler(received, frame, signum=signum):
+                    cleanup()
+                    # restore whoever was installed before us, then
+                    # re-raise so default semantics (KeyboardInterrupt,
+                    # termination exit status) are preserved
+                    prior = previous.get(received)
+                    signal.signal(
+                        received,
+                        prior if prior is not None else signal.SIG_DFL,
+                    )
+                    os.kill(os.getpid(), received)
+                previous[signum] = signal.signal(signum, handler)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
+        return previous
+
+    @staticmethod
+    def _remove_janitor(cleanup, previous) -> None:
+        atexit.unregister(cleanup)
+        for signum, handler in previous.items():
+            try:
+                signal.signal(
+                    signum, handler if handler is not None else signal.SIG_DFL
+                )
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
 
     # ------------------------------------------------------------------
     def _validate_udf(self, udf) -> None:
@@ -327,7 +496,7 @@ class ProcessBackend(Backend):
     # collection with liveness detection
     # ------------------------------------------------------------------
     def _collect(self, result_queue, processes, endpoints, pending, tag,
-                 fleet, fail_fast) -> dict:
+                 fleet, fail_fast, ckpt=None) -> dict:
         """Gather one tagged message per pending worker.
 
         Every queue wait is bounded by ``heartbeat``; each expiry
@@ -337,6 +506,11 @@ class ProcessBackend(Backend):
         With ``fail_fast`` the first death ends collection immediately;
         otherwise collection continues until every pending worker has
         either reported or been marked lost.
+
+        ``ckpt`` consumes checkpoint deltas *before* the pending
+        filter: a dying worker's last shipped cursors are exactly what
+        redistribution needs, so they must be recorded even once the
+        worker is marked lost.
         """
         collected: dict[int, dict] = {}
         expected = len(pending)
@@ -360,6 +534,10 @@ class ProcessBackend(Backend):
                     break
                 continue
             kind, worker_id, payload = message
+            if kind == CKPT:
+                if ckpt is not None:
+                    ckpt(*payload)
+                continue
             if worker_id not in pending:
                 continue  # late message from a worker already marked lost
             if kind == ERROR:
@@ -369,6 +547,7 @@ class ProcessBackend(Backend):
                 fleet.peer_timeout_messages += max(
                     1, int(payload.get("liveness_timeouts", 0))
                 )
+                fleet.aborted.add(worker_id)
                 self._mark_lost(endpoints, pending, fleet, worker_id,
                                 payload["message"])
             elif kind == tag:
@@ -432,54 +611,121 @@ class ProcessBackend(Backend):
                 return
 
     # ------------------------------------------------------------------
-    # lost-worker re-execution (on_worker_death == "recover")
+    # lost-worker redistribution (on_worker_death == "recover")
     # ------------------------------------------------------------------
-    def _reexecute(self, engine, schedules, udf, system, app, graph_name,
-                   lost, workers) -> dict:
-        """Replay each lost worker's hosted machines inline.
+    def _redistribute(self, result_queue, processes, endpoints, engine,
+                      schedules, udf, system, app, graph_name, lost,
+                      survivors, workers, machines, fleet, progress,
+                      ckpt) -> tuple[list[dict], dict]:
+        """Round-robin the lost workers' machines across survivors.
 
-        The determinism contract makes this exact: the inline path,
-        restricted to a worker's hosted set, computes bit-identically
-        what that worker would have returned — the same argument that
-        backs the engine's simulated chunk-granular recovery
-        (docs/faults.md), applied at worker granularity. Each pass gets
-        a fresh cluster view and a pickled UDF copy, exactly like a
-        spawned worker.
+        The determinism contract makes the replays exact: the inline
+        path, restricted to any machine subset, computes bit-identically
+        what the dead worker would have returned — and the progress
+        ledger (the dead worker's shipped deltas) lets each survivor
+        resume past chunks already completed, seeding their checkpointed
+        matches instead of recomputing them. The parent replays inline
+        only machines no survivor covered (a survivor died mid-recovery,
+        or no survivors exist at all).
+        """
+        lost_machines = sorted(
+            machine for worker_id in lost
+            for machine in self._machines_of(worker_id, workers, machines)
+        )
+        assignment: dict[int, list[int]] = {}
+        if survivors:
+            for index, machine in enumerate(lost_machines):
+                target = survivors[index % len(survivors)]
+                assignment.setdefault(target, []).append(machine)
+        for worker_id in sorted(assignment):
+            hosted = set(assignment[worker_id])
+            endpoints.controls[worker_id].put(RecoverAssignment(
+                machines=tuple(assignment[worker_id]),
+                resume={
+                    key: cursor for key, cursor in progress.items()
+                    if key[1] in hosted
+                },
+            ))
+        recoveries: dict[int, dict] = {}
+        if assignment:
+            recoveries = self._collect(
+                result_queue, processes, endpoints, set(assignment),
+                RECOVERY, fleet, fail_fast=False, ckpt=ckpt,
+            )
+        entries = [
+            {**payload, "worker_id": worker_id, "kind": "recovery"}
+            for worker_id, payload in sorted(recoveries.items())
+        ]
+        uncovered = sorted(
+            machine
+            for worker_id, hosted in assignment.items()
+            if worker_id not in recoveries
+            for machine in hosted
+        ) if survivors else lost_machines
+        if uncovered:
+            entries.append(self._replay_inline(
+                engine, schedules, udf, system, app, graph_name,
+                uncovered, progress, ckpt,
+            ))
+        redistribution = {
+            "machines": sum(
+                len(hosted) for worker_id, hosted in assignment.items()
+                if worker_id in recoveries
+            ),
+            "workers": {
+                worker_id: list(hosted)
+                for worker_id, hosted in sorted(assignment.items())
+                if worker_id in recoveries
+            },
+            "inline_fallback": len(uncovered),
+        }
+        return entries, redistribution
+
+    def _replay_inline(self, engine, schedules, udf, system, app,
+                       graph_name, replay_machines, progress,
+                       ckpt) -> dict:
+        """Parent-side inline replay of machines no survivor covered.
+
+        Mirrors a spawned worker: fresh cluster view, fresh
+        observability bundle, pickled UDF copy — resumed past whatever
+        the progress ledger already covers.
         """
         parent = engine.cluster
-        recovered: dict[int, dict] = {}
-        for worker_id in lost:
-            cluster = Cluster(parent.graph, parent.config)
-            obs = Observability() if engine.obs.enabled else None
-            recovery_engine = KhuzdulEngine(cluster, engine.config, obs=obs)
-            udf_copy = (
-                pickle.loads(pickle.dumps(udf)) if udf is not None else None
-            )
-            hosted = {
-                machine for machine in range(cluster.num_machines)
-                if machine % workers == worker_id
+        cluster = Cluster(parent.graph, parent.config)
+        obs = Observability() if engine.obs.enabled else None
+        recovery_engine = KhuzdulEngine(cluster, engine.config, obs=obs)
+        udf_copy = (
+            pickle.loads(pickle.dumps(udf)) if udf is not None else None
+        )
+        hosted = set(replay_machines)
+        resume = {
+            key: cursor for key, cursor in progress.items()
+            if key[1] in hosted
+        }
+        replay_started = perf_counter()
+        counts, report = recovery_engine.execute_hosted(
+            schedules, udf_copy, system, app, graph_name,
+            hosted=hosted, transport=None,
+            checkpoint_sink=ckpt, resume=resume or None,
+        )
+        payload = {
+            "counts": counts,
+            "report": report,
+            "udf": udf_copy,
+            "busy_seconds": perf_counter() - replay_started,
+            "requester": zero_requester_stats(),
+            "obs": None,
+            "worker_id": None,
+            "kind": "inline",
+            "machines": list(replay_machines),
+        }
+        if obs is not None:
+            payload["obs"] = {
+                "metrics": obs.registry.dump(),
+                "spans": obs.tracer.spans,
+                "dropped": obs.tracer.dropped,
             }
-            replay_started = perf_counter()
-            counts, report = recovery_engine.execute_hosted(
-                schedules, udf_copy, system, app, graph_name,
-                hosted=hosted, transport=None,
-            )
-            payload = {
-                "counts": counts,
-                "report": report,
-                "udf": udf_copy,
-                "busy_seconds": perf_counter() - replay_started,
-                "requester": zero_requester_stats(),
-                "obs": None,
-            }
-            if obs is not None:
-                payload["obs"] = {
-                    "metrics": obs.registry.dump(),
-                    "spans": obs.tracer.spans,
-                    "dropped": obs.tracer.dropped,
-                }
-            recovered[worker_id] = payload
-        return recovered
+        return payload
 
     # ------------------------------------------------------------------
     # structured fail-fast reports (never a bare stall or traceback)
@@ -555,9 +801,12 @@ class ProcessBackend(Backend):
 
     # ------------------------------------------------------------------
     def _merge(self, engine, udf, system, app, graph_name, num_schedules,
-               workers, results, stats, wall,
-               fleet) -> tuple[list[int], RunReport]:
-        ordered = [results[worker_id] for worker_id in range(workers)]
+               workers, entries, stats, wall, fleet,
+               redistribution=None) -> tuple[list[int], RunReport]:
+        """Fold the run's entries — per-worker results plus any
+        redistribution replays (machine-disjoint by construction) —
+        into one report."""
+        ordered = entries
         reports = [entry["report"] for entry in ordered]
         counts = [
             sum(entry["counts"][index] for entry in ordered)
@@ -654,8 +903,17 @@ class ProcessBackend(Backend):
             ),
         }
 
-        busy = [entry["busy_seconds"] for entry in ordered]
-        wait = [entry["requester"]["wait_seconds"] for entry in ordered]
+        # per-worker wall-clock lists: recovery replays accrue to the
+        # survivor that ran them; the parent's own inline fallback
+        # (worker_id None) is reported via the redistribution extra
+        busy = [0.0] * workers
+        wait = [0.0] * workers
+        for entry in ordered:
+            worker_id = entry.get("worker_id")
+            if worker_id is None:
+                continue
+            busy[worker_id] += entry["busy_seconds"]
+            wait[worker_id] += entry["requester"]["wait_seconds"]
         requesters = [entry["requester"] for entry in ordered]
         responders = [stats[worker_id] for worker_id in range(workers)]
         messages = sum(r["messages"] for r in requesters)
@@ -673,7 +931,12 @@ class ProcessBackend(Backend):
         fallbacks = sum(s["fallbacks_served"] for s in responders)
         ring_wait = sum(s["ring_wait_seconds"] for s in responders)
         local_requests = sum(r["local_requests"] for r in requesters)
-        adaptive = [r["adaptive_chunk_bytes"] for r in requesters]
+        adaptive = [0] * workers
+        for entry in ordered:
+            if entry["kind"] == "result":
+                adaptive[entry["worker_id"]] = (
+                    entry["requester"]["adaptive_chunk_bytes"]
+                )
         merged.extra["exec"] = {
             **self._exec_extra(workers, wall, fleet,
                                peer_timeouts=peer_timeouts,
@@ -703,6 +966,8 @@ class ProcessBackend(Backend):
             "local_fast_requests": local_requests,
             "adaptive_chunk_bytes": adaptive,
         }
+        if redistribution is not None:
+            merged.extra["exec"]["redistribution"] = redistribution
 
         obs = engine.obs
         if obs.enabled:
@@ -715,7 +980,8 @@ class ProcessBackend(Backend):
                                     messages, shipped, depth, fleet,
                                     peer_timeouts, requesters,
                                     occupancy, coalesced_batch,
-                                    fallbacks, local_requests)
+                                    fallbacks, local_requests, adaptive,
+                                    redistribution)
             summary = obs.summary()
             summary["network"] = {
                 "per_machine_sent_bytes": [
@@ -749,8 +1015,8 @@ class ProcessBackend(Backend):
     def _emit_exec_metrics(self, obs, workers, wall, busy, wait,
                            messages, shipped, depth, fleet,
                            peer_timeouts, requesters, occupancy,
-                           coalesced_batch, fallbacks,
-                           local_requests) -> None:
+                           coalesced_batch, fallbacks, local_requests,
+                           adaptive, redistribution=None) -> None:
         scope = obs.registry.scope()
         scope.gauge(names.EXEC_WORKERS).set(workers)
         scope.gauge(names.EXEC_WALL_SECONDS).set(wall)
@@ -779,8 +1045,12 @@ class ProcessBackend(Backend):
             scope.histogram(
                 names.NET_COALESCED_BATCH_VERTICES
             ).merge_summary(*coalesced_batch)
-        for worker_id, requester in enumerate(requesters):
+        for worker_id, chunk_bytes in enumerate(adaptive):
             scope.gauge(
                 names.EXEC_ADAPTIVE_CHUNK_BYTES, worker=worker_id
-            ).set(requester["adaptive_chunk_bytes"])
+            ).set(chunk_bytes)
+        if redistribution is not None:
+            scope.counter(names.RECOVERY_REDISTRIBUTED_MACHINES).inc(
+                redistribution["machines"]
+            )
         self._emit_liveness_metrics(scope, fleet, peer_timeouts)

@@ -53,6 +53,7 @@ a deadlock (docs/execution.md, "Real-process failure semantics").
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import threading
 from collections import deque
@@ -62,7 +63,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import PeerDeadError
+from repro.errors import PeerDeadError, TransportCorruptionError
 from repro.exec.messages import SHUTDOWN, CoalescedFetchRequest, Segment
 from repro.exec.ring import RingAborted, attach_ring
 from repro.graph.graph import Graph
@@ -73,8 +74,15 @@ REPLY_TIMEOUT_SECONDS = 300.0
 #: cap on any single bounded wait between liveness re-checks — the
 #: worker-side detection bound for a dead peer or a fleet stop
 LIVENESS_INTERVAL_SECONDS = 1.0
-#: reply-frame header: int64 [kind, payload elements]
-FRAME_HEADER_BYTES = 16
+#: reply-frame header: int64 [magic, sequence, kind, payload elements].
+#: The magic word and the per-pair monotone sequence let the requester
+#: detect ring corruption (a torn/misaligned frame, a stale segment, a
+#: desynced producer) *structurally* instead of misreading garbage as
+#: edge lists — validation failures raise
+#: :class:`~repro.errors.TransportCorruptionError`
+FRAME_HEADER_BYTES = 32
+#: first header word of every well-formed frame ("ringfrme" in ASCII)
+FRAME_MAGIC = 0x72696E6766726D65
 #: frame kinds: payload inline in the ring / oversized-payload marker
 #: (the actual edge lists travel pickled on the requester's fallback
 #: queue; the marker keeps the ring's frame order intact)
@@ -143,6 +151,16 @@ class Endpoints:
     deaths: Optional[list] = None
     #: fleet-wide stop signal set by the parent during teardown
     stop: Optional[object] = None
+    #: per-worker control queues (parent -> worker): after a worker's
+    #: RESULT, the parent may send :class:`RecoverAssignment` messages
+    #: (redistributed recovery of a dead peer's machines) followed by
+    #: the DONE sentinel; None for fabrics without recovery support
+    controls: Optional[list] = None
+    #: pid of the parent that built the fabric. Workers treat a changed
+    #: ppid (the parent was SIGKILLed and init adopted them) as a stop
+    #: signal, so orphans exit within a bounded wait instead of
+    #: spinning forever on events nobody will ever set
+    parent_pid: Optional[int] = None
 
     def worker_of(self, machine: int) -> int:
         return machine % self.num_workers
@@ -151,7 +169,13 @@ class Endpoints:
         return self.deaths is not None and self.deaths[worker].is_set()
 
     def stopping(self) -> bool:
-        return self.stop is not None and self.stop.is_set()
+        if self.stop is not None and self.stop.is_set():
+            return True
+        return (
+            self.parent_pid is not None
+            and os.getpid() != self.parent_pid
+            and os.getppid() != self.parent_pid
+        )
 
 
 class AdaptiveChunker:
@@ -240,6 +264,10 @@ class WorkerTransport:
         self._buffers: dict[int, list] = {}
         self._buffered_elems: dict[int, int] = {}
         self._fallback_stash: dict[int, deque] = {}
+        #: next frame sequence expected per server worker (main thread)
+        self._frame_seq_in: dict[int, int] = {}
+        #: next frame sequence to stamp per requester (responder thread)
+        self._frame_seq_out: dict[int, int] = {}
         # requester-side accounting (main thread only)
         self.wait_seconds = 0.0
         self.requests_posted = 0
@@ -342,10 +370,12 @@ class WorkerTransport:
                     or self.endpoints.peer_dead(requester))
 
         fits = FRAME_HEADER_BYTES + payload.nbytes <= ring.capacity
+        sequence = self._frame_seq_out.get(requester, 0)
         try:
             if fits:
-                header = np.array([FRAME_DATA, len(payload)],
-                                  dtype=np.int64)
+                header = np.array(
+                    [FRAME_MAGIC, sequence, FRAME_DATA, len(payload)],
+                    dtype=np.int64)
                 ring.write([header, payload], abort)
             else:
                 # oversized: ship the payload pickled, keep ring order
@@ -354,9 +384,11 @@ class WorkerTransport:
                 self.endpoints.fallbacks[requester].put(
                     (self.worker_id, payload)
                 )
-                marker = np.array([FRAME_FALLBACK, len(payload)],
-                                  dtype=np.int64)
+                marker = np.array(
+                    [FRAME_MAGIC, sequence, FRAME_FALLBACK, len(payload)],
+                    dtype=np.int64)
                 ring.write([marker], abort)
+            self._frame_seq_out[requester] = sequence + 1
         except RingAborted:
             # the requester died or the fleet is stopping: drop the
             # reply and keep serving whoever is still alive
@@ -569,18 +601,30 @@ class WorkerTransport:
                     FRAME_HEADER_BYTES + desc.payload_bytes, abort
                 )
                 header = raw[:FRAME_HEADER_BYTES].view(np.int64)
-                kind, elems = int(header[0]), int(header[1])
                 payload = raw[FRAME_HEADER_BYTES:].view(self._dtype)
             else:
                 raw = ring.read_exact(FRAME_HEADER_BYTES, abort)
                 header = raw.view(np.int64)
-                kind, elems = int(header[0]), int(header[1])
                 payload = None
         except RingAborted:
             self._abort_wait(started, server_worker, server_machine)
         elapsed = perf_counter() - started
         self.wait_seconds += elapsed
         self.liveness_timeouts += int(elapsed // LIVENESS_INTERVAL_SECONDS)
+        magic, sequence, kind, elems = (
+            int(header[0]), int(header[1]), int(header[2]), int(header[3])
+        )
+        expected_seq = self._frame_seq_in.get(server_worker, 0)
+        if magic != FRAME_MAGIC or sequence != expected_seq:
+            # the frame boundary itself is untrustworthy: structural
+            # ring corruption, not a mere protocol mismatch
+            raise TransportCorruptionError(
+                self.worker_id, server_worker,
+                f"bad frame header: magic={magic:#018x} "
+                f"(want {FRAME_MAGIC:#018x}), sequence={sequence} "
+                f"(want {expected_seq})"
+            )
+        self._frame_seq_in[server_worker] = expected_seq + 1
         expected_kind = FRAME_DATA if desc.fits else FRAME_FALLBACK
         if kind != expected_kind or elems != desc.total_elems:
             raise RuntimeError(

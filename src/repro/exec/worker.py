@@ -21,11 +21,25 @@ Result protocol on the shared result queue (tag, worker_id, payload):
 - ``(PEER_DEAD, w, {...})`` — a bounded transport wait found its
   serving peer dead (the parent's death notice was set); this worker's
   compute is lost and the parent applies its ``on_worker_death``
-  policy.
+  policy. The process itself stays alive and enters the control loop,
+  so the recover policy can hand it replay work.
+- ``(CKPT, w, (pattern, machine, roots, matches))`` — one per
+  completed root chunk, carrying the absolute cursor. The parent's
+  progress ledger is built from these (durable log and/or
+  redistribution resume maps), so they are shipped unconditionally.
+- ``(RECOVERY, w, {...})`` — a redistributed replay of a dead peer's
+  machines finished; RESULT-shaped payload restricted to them.
 - ``(ERROR, w, traceback_text)`` — any unexpected failure. Expected
   engine outcomes (OOM / simulated timeout) are *not* errors: the
   inline path already converts them into a structured
   ``FailureSummary`` on the partial report.
+
+After its RESULT a worker enters a control loop (when the fabric has
+control queues): the parent may hand it ``RecoverAssignment`` work —
+replay a dead peer's machines against the shared graph with the
+transport disabled (every worker maps the full graph, so no fetches
+are needed) — until the DONE sentinel releases it to drain the
+responder and post STATS.
 
 Every exit path closes the shared-memory mapping and stops the
 responder thread; the parent is the only side that ever unlinks the
@@ -34,16 +48,79 @@ segments.
 
 from __future__ import annotations
 
+import os
+import pickle
+import signal
 import traceback
+from queue import Empty
 from time import perf_counter
 
 from repro.cluster.cluster import Cluster
 from repro.core.engine import KhuzdulEngine
 from repro.errors import PeerDeadError
-from repro.exec.messages import ERROR, PEER_DEAD, RESULT, STATS
-from repro.exec.transport import WorkerTransport
+from repro.exec.messages import (
+    CKPT,
+    DONE,
+    ERROR,
+    PEER_DEAD,
+    RECOVERY,
+    RESULT,
+    STATS,
+    RecoverAssignment,
+)
+from repro.exec.transport import (
+    LIVENESS_INTERVAL_SECONDS,
+    WorkerTransport,
+    zero_requester_stats,
+)
 from repro.graph.csr import attach_csr
 from repro.obs import Observability
+
+#: chaos-injection contract (benchmarks/chaos.py): a worker whose id
+#: matches ``REPRO_CHAOS=worker-kill:<wid>:<n>`` SIGKILLs itself after
+#: shipping its n-th checkpoint delta — a real mid-compute crash at a
+#: deterministic chunk boundary
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+def _chaos_kill_threshold(worker_id: int) -> int:
+    spec = os.environ.get(CHAOS_ENV, "")
+    if spec.startswith("worker-kill:"):
+        try:
+            _, wid, count = spec.split(":")
+            if int(wid) == worker_id:
+                return max(1, int(count))
+        except ValueError:
+            pass
+    return 0
+
+
+class _DeltaSink:
+    """Ships completed-chunk cursors to the parent as CKPT messages."""
+
+    def __init__(self, worker_id: int, result_queue) -> None:
+        self.worker_id = worker_id
+        self.result_queue = result_queue
+        self.shipped = 0
+        self.kill_after = _chaos_kill_threshold(worker_id)
+
+    def __call__(self, pattern: int, machine: int, roots: int,
+                 matches: int) -> None:
+        self.result_queue.put(
+            (CKPT, self.worker_id, (pattern, machine, roots, matches)))
+        self.shipped += 1
+        if self.kill_after and self.shipped >= self.kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _obs_dump(obs) -> dict | None:
+    if obs is None:
+        return None
+    return {
+        "metrics": obs.registry.dump(),
+        "spans": obs.tracer.spans,
+        "dropped": obs.tracer.dropped,
+    }
 
 
 def worker_main(
@@ -58,6 +135,7 @@ def worker_main(
     obs_enabled: bool,
     endpoints,
     result_queue,
+    resume=None,
 ) -> None:
     system, app, graph_name = job
     transport = None
@@ -67,6 +145,9 @@ def worker_main(
         result_queue.put((ERROR, worker_id, traceback.format_exc()))
         return
     try:
+        # the replay path needs a UDF untouched by this worker's own
+        # phase-1 merge-ins; snapshot it before compute mutates it
+        pristine_udf = pickle.dumps(udf) if udf is not None else None
         cluster = Cluster(shared.graph, cluster_config)
         obs = Observability() if obs_enabled else None
         engine = KhuzdulEngine(cluster, engine_config, obs=obs)
@@ -76,39 +157,51 @@ def worker_main(
             machine for machine in range(cluster.num_machines)
             if machine % num_workers == worker_id
         }
+        sink = _DeltaSink(worker_id, result_queue)
         started = perf_counter()
-        counts, report = engine.execute_hosted(
-            schedules, udf, system, app, graph_name,
-            hosted=hosted, transport=transport,
-        )
-        elapsed = perf_counter() - started
-        payload = {
-            "counts": counts,
-            "report": report,
-            "udf": udf,
-            "busy_seconds": max(0.0, elapsed - transport.wait_seconds),
-            "requester": transport.requester_stats(),
-            "obs": None,
-        }
-        if obs is not None:
-            payload["obs"] = {
-                "metrics": obs.registry.dump(),
-                "spans": obs.tracer.spans,
-                "dropped": obs.tracer.dropped,
+        try:
+            counts, report = engine.execute_hosted(
+                schedules, udf, system, app, graph_name,
+                hosted=hosted, transport=transport,
+                checkpoint_sink=sink,
+                resume={
+                    key: value for key, value in resume.items()
+                    if key[1] in hosted
+                } if resume else None,
+            )
+        except PeerDeadError as exc:
+            # this worker's own compute is lost, but the *process* is
+            # healthy: report the abort and stay available — under the
+            # recover policy the parent may hand this worker replay
+            # work (possibly its own machines, resumed from the deltas
+            # it already shipped) through the control loop below
+            result_queue.put((PEER_DEAD, worker_id, {
+                "peer": exc.peer_worker,
+                "message": str(exc),
+                "liveness_timeouts": transport.liveness_timeouts,
+            }))
+        else:
+            elapsed = perf_counter() - started
+            payload = {
+                "counts": counts,
+                "report": report,
+                "udf": udf,
+                "busy_seconds": max(
+                    0.0, elapsed - transport.wait_seconds),
+                "requester": transport.requester_stats(),
+                "obs": _obs_dump(obs),
             }
-        result_queue.put((RESULT, worker_id, payload))
+            result_queue.put((RESULT, worker_id, payload))
+        if endpoints.controls is not None:
+            _control_loop(
+                worker_id, endpoints, result_queue, shared,
+                cluster_config, engine_config, schedules, pristine_udf,
+                job, obs_enabled, sink,
+            )
         # keep serving other workers until the parent says everyone is
         # done; only then are the responder-side stats complete
         transport.join()
         result_queue.put((STATS, worker_id, transport.responder_stats()))
-    except PeerDeadError as exc:
-        result_queue.put((PEER_DEAD, worker_id, {
-            "peer": exc.peer_worker,
-            "message": str(exc),
-            "liveness_timeouts": (
-                transport.liveness_timeouts if transport is not None else 0
-            ),
-        }))
     except BaseException:
         result_queue.put((ERROR, worker_id, traceback.format_exc()))
     finally:
@@ -120,3 +213,65 @@ def worker_main(
             if transport.join(timeout=5.0):
                 transport.close()
         shared.close()
+
+
+def _control_loop(
+    worker_id: int,
+    endpoints,
+    result_queue,
+    shared,
+    cluster_config,
+    engine_config,
+    schedules,
+    pristine_udf,
+    job: tuple[str, str, str],
+    obs_enabled: bool,
+    sink: _DeltaSink,
+) -> None:
+    """Serve redistributed-recovery assignments until DONE.
+
+    Waits are bounded so a parent that dies without sending DONE
+    cannot wedge the worker: every timeout re-checks the fleet-wide
+    stop event.
+    """
+    system, app, graph_name = job
+    control = endpoints.controls[worker_id]
+    while True:
+        try:
+            message = control.get(timeout=LIVENESS_INTERVAL_SECONDS)
+        except Empty:
+            if endpoints.stopping():
+                return
+            continue
+        if message == DONE:
+            return
+        if not isinstance(message, RecoverAssignment):
+            raise RuntimeError(
+                f"worker {worker_id}: unexpected control message "
+                f"{message!r}")
+        # a fresh engine per assignment: the phase-1 engine's scheduler
+        # state is spent, and the replay must start from the pristine
+        # UDF so merged state is counted exactly once
+        replay_udf = (
+            pickle.loads(pristine_udf) if pristine_udf is not None else None
+        )
+        cluster = Cluster(shared.graph, cluster_config)
+        obs = Observability() if obs_enabled else None
+        engine = KhuzdulEngine(cluster, engine_config, obs=obs)
+        started = perf_counter()
+        counts, report = engine.execute_hosted(
+            schedules, replay_udf, system, app, graph_name,
+            hosted=set(message.machines), transport=None,
+            checkpoint_sink=sink,
+            resume=dict(message.resume) if message.resume else None,
+        )
+        payload = {
+            "counts": counts,
+            "report": report,
+            "udf": replay_udf,
+            "busy_seconds": perf_counter() - started,
+            "requester": zero_requester_stats(),
+            "obs": _obs_dump(obs),
+            "machines": list(message.machines),
+        }
+        result_queue.put((RECOVERY, worker_id, payload))

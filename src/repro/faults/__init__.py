@@ -20,6 +20,7 @@ This package is a leaf layer: it imports only ``repro.errors`` and
 ``repro.obs`` so that both ``cluster`` and ``core`` may depend on it.
 """
 
+from repro.faults.durability import CheckpointSession, run_manifest
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import CrashFault, FaultPlan, StragglerFault
 from repro.faults.recovery import (
@@ -32,12 +33,14 @@ from repro.faults.recovery import (
 
 __all__ = [
     "Checkpoint",
+    "CheckpointSession",
     "CrashFault",
     "FailureSummary",
     "FaultInjector",
     "FaultPlan",
     "Outcome",
     "StragglerFault",
+    "run_manifest",
     "worker_death_event",
     "worker_loss_summary",
 ]

@@ -30,13 +30,20 @@ bites *unrelated* attaching processes).
 
 from __future__ import annotations
 
+import os
+import random
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
+
+#: bounded attempts at claiming a fresh segment name before giving up
+_CREATE_ATTEMPTS = 8
 
 
 @dataclass(frozen=True)
@@ -55,8 +62,31 @@ def create_segment(nbytes: int) -> shared_memory.SharedMemory:
     export below uses it for graph arrays, and the process backend's
     reply rings (:mod:`repro.exec.ring`) use it for fetch-reply
     payloads — same mechanism, same creator-unlinks contract.
+
+    Names are explicit (``repro_<pid>_<nonce>``) so crash-leaked
+    segments are attributable, and creation retries with jittered
+    backoff on a name collision — concurrent runs (or a leak from a
+    SIGKILLed one) must not abort a fresh run outright. Attempts are
+    bounded; exhausting them raises a structured
+    :class:`~repro.errors.ConfigurationError`.
     """
-    return shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+    size = max(1, nbytes)
+    last_error: Optional[BaseException] = None
+    for attempt in range(_CREATE_ATTEMPTS):
+        name = f"repro_{os.getpid():x}_{os.urandom(4).hex()}"
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except FileExistsError as exc:
+            last_error = exc
+            time.sleep(random.uniform(0.5, 1.5) * 0.002 * (attempt + 1))
+    raise ConfigurationError(
+        f"could not allocate a shared-memory segment after "
+        f"{_CREATE_ATTEMPTS} name collisions (stale segments from a "
+        f"killed run? see docs/faults.md on checkpoint-directory "
+        f"segment reaping): {last_error}"
+    )
 
 
 def attach_segment(name: str) -> shared_memory.SharedMemory:

@@ -102,6 +102,14 @@ RECOVERY_CHECKPOINTS = "recovery.checkpoints"
 RECOVERY_REASSIGNED_ROOTS = "recovery.reassigned_roots"
 RECOVERY_REASSIGNED_CHUNKS = "recovery.reassigned_chunks"
 RECOVERY_INVALIDATED_ENTRIES = "recovery.invalidated_entries"
+RECOVERY_REDISTRIBUTED_MACHINES = "recovery.redistributed_machines"
+
+# ---------------------------------------------------------------------
+# durable checkpoints (docs/faults.md, "Durability")
+# ---------------------------------------------------------------------
+CHECKPOINT_RECORDS = "checkpoint.records"
+CHECKPOINT_FLUSHES = "checkpoint.flushes"
+CHECKPOINT_RESUMED_ROOTS = "checkpoint.resumed_roots"
 
 # ---------------------------------------------------------------------
 # execution backends (docs/execution.md) — wall-clock, not simulated
@@ -233,6 +241,22 @@ SPECS: dict[str, MetricSpec] = dict(
         _spec(RECOVERY_INVALIDATED_ENTRIES, "counter", "edge lists",
               "docs/faults.md",
               "cache/HDS entries invalidated after a machine loss"),
+        _spec(RECOVERY_REDISTRIBUTED_MACHINES, "counter", "machines",
+              "docs/execution.md",
+              "lost workers' hosted machines redistributed across "
+              "surviving worker processes"),
+        _spec(CHECKPOINT_RECORDS, "counter", "chunks",
+              "docs/faults.md",
+              "completed-root-chunk records appended to the durable "
+              "checkpoint log"),
+        _spec(CHECKPOINT_FLUSHES, "counter", "flushes",
+              "docs/faults.md",
+              "durable checkpoint flushes (log fsync + aggregates "
+              "snapshot rewrite)"),
+        _spec(CHECKPOINT_RESUMED_ROOTS, "counter", "roots",
+              "docs/faults.md",
+              "root vertices skipped by a resumed run because the "
+              "checkpoint log already covered them"),
         _spec(EXEC_WORKERS, "gauge", "processes", "docs/execution.md",
               "worker processes spawned by the process backend"),
         _spec(EXEC_WALL_SECONDS, "gauge", "seconds", "docs/execution.md",
