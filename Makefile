@@ -13,11 +13,11 @@ TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && ech
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest $(TIMEOUT_FLAGS)
 
 .PHONY: test suite docs-check faults-check exec-check exec-faults-check \
-	chaos-check perf-check perf-bench bench
+	chaos-check perf-check perf-bench service-check bench
 
 ## tier-1: full suite, then the docs/fault/backend/perf contracts
 test: suite docs-check faults-check exec-check exec-faults-check \
-	chaos-check perf-check
+	chaos-check perf-check service-check
 
 suite:
 	$(PYTEST) -x -q
@@ -60,6 +60,15 @@ perf-check:
 perf-bench:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_wallclock.py \
 		--out BENCH_PR6.json
+
+## resident mining service: equivalence/admission/shutdown suite plus
+## the latency/throughput load harness — one server answers a mixed
+## 20-query trace bit-identically to one-shot runs and its amortized
+## p50 must beat the fastest one-shot wall-clock; writes
+## BENCH_PR8.json (docs/service.md)
+service-check:
+	PYTHONPATH=src:. $(PYTHON) -m pytest $(TIMEOUT_FLAGS) \
+		tests/test_service.py benchmarks/bench_service.py -q
 
 ## paper-figure benchmark suite (slow)
 bench:

@@ -165,6 +165,63 @@ def scenario_worker_kill_redistributes(oracle, workers):
             "redistribution": redistribution}
 
 
+def scenario_serve_sigkill_reaps_segments(directory):
+    """SIGKILL a resident mining server mid-session; its shm ledger
+    must survive, and the next server started with the same
+    ``--checkpoint-dir`` must reap the leaked segments and serve
+    queries normally (docs/service.md)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env.pop("REPRO_CHAOS", None)
+    args = [sys.executable, "-m", "repro", "serve", "--graph", "mico",
+            "--scale", "0.05", "--machines", "2", "--cores", "2",
+            "--workers", "1", "--checkpoint-dir", directory,
+            "--metrics", "json"]
+    proc = subprocess.Popen(
+        args, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=env, cwd=str(REPO_ROOT),
+    )
+    try:
+        hello = json.loads(proc.stdout.readline())
+        assert hello["service"] == "ready", hello
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - defensive
+            proc.kill()
+    _assert_killed(proc)
+    ledger = Path(directory) / "shm.json"
+    assert ledger.exists(), "SIGKILLed server should leave its shm ledger"
+    leaked = json.loads(ledger.read_text())["segments"]
+    assert leaked, "a 1-worker server must have exported shm segments"
+
+    # a restarted server with the same checkpoint dir reaps the leak
+    # before loading its own graph, then serves normally
+    second = subprocess.run(
+        args, input='{"id": "after", "app": "triangle"}\n',
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=CLI_TIMEOUT,
+    )
+    assert second.returncode == 0, (
+        f"restarted server failed ({second.returncode}):\n"
+        f"{second.stdout}\n{second.stderr}")
+    hello2, report, summary = [
+        json.loads(line) for line in second.stdout.splitlines()
+        if line.strip()
+    ]
+    assert hello2["service"] == "ready"
+    assert report["id"] == "after" and report["outcome"] == "OK"
+    assert summary["ok"] == 1, summary
+    assert not ledger.exists(), "clean shutdown should clear the ledger"
+    still_alive = [name for name in leaked
+                   if os.path.exists(f"/dev/shm/{name}")]
+    assert not still_alive, f"segments leaked: {still_alive}"
+    return {"scenario": "serve-sigkill",
+            "ledger_segments": len(leaked),
+            "restart_reaped": hello2["reaped_segments"],
+            "counts": report["counts"]}
+
+
 # ---------------------------------------------------------------------
 # pytest entry points (make chaos-check)
 # ---------------------------------------------------------------------
@@ -195,6 +252,10 @@ def test_chaos_worker_kill_redistributes(oracle, workers):
     scenario_worker_kill_redistributes(oracle, workers)
 
 
+def test_chaos_serve_sigkill_reaps_segments(tmp_path):
+    scenario_serve_sigkill_reaps_segments(str(tmp_path))
+
+
 # ---------------------------------------------------------------------
 # standalone sweep
 # ---------------------------------------------------------------------
@@ -215,6 +276,8 @@ def main(argv=None) -> int:
     for workers in (2, 4):
         rows.append(scenario_worker_kill_redistributes(
             oracle_report, workers))
+    with tempfile.TemporaryDirectory() as d4:
+        rows.append(scenario_serve_sigkill_reaps_segments(d4))
 
     document = {"job": " ".join(JOB), "oracle_counts":
                 oracle_report["counts"], "scenarios": rows}

@@ -8,6 +8,7 @@ Usage:
     python -m repro motifs --graph mico --size 3 --machines 8
     python -m repro fsm --graph mico --threshold 30
     python -m repro experiment table2 --scale 0.5
+    python -m repro serve --graph mico --scale 0.3 --machines 4
     python -m repro datasets
 
 ``--metrics table`` prints the per-machine compute/communication/cache
@@ -31,34 +32,19 @@ from repro.graph import dataset
 from repro.graph.datasets import DATASETS
 from repro.obs import Observability
 from repro.obs.render import render_metrics_json, render_metrics_table
-from repro.patterns import catalog
 from repro.patterns.pattern import Pattern
+from repro.service.cli import add_serve_parser, cmd_serve
+from repro.service.protocol import parse_pattern_spec
 from repro.systems import KAutomine, KGraphPi, motif_count, run_fsm
 
 
 def _parse_pattern(spec: str) -> Pattern:
     """Parse a pattern spec: clique3..7, chain2..7, cycle3..7, starN,
     house, tailed_triangle, or an explicit edge list ' 0-1,1-2,0-2 '."""
-    for prefix, fn in (
-        ("clique", catalog.clique),
-        ("chain", catalog.chain),
-        ("cycle", catalog.cycle),
-        ("star", catalog.star),
-    ):
-        if spec.startswith(prefix) and spec[len(prefix):].isdigit():
-            return fn(int(spec[len(prefix):]))
-    if spec == "house":
-        return catalog.house()
-    if spec == "tailed_triangle":
-        return catalog.tailed_triangle()
-    if "-" in spec:
-        edges = []
-        for part in spec.split(","):
-            u, v = part.split("-")
-            edges.append((int(u), int(v)))
-        size = max(max(e) for e in edges) + 1
-        return Pattern(size, edges)
-    raise SystemExit(f"unrecognized pattern spec {spec!r}")
+    try:
+        return parse_pattern_spec(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
 
 
 def _build_engine_config(args) -> EngineConfig | None:
@@ -294,9 +280,14 @@ def main(argv: list[str] | None = None) -> int:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
     experiment.add_argument("--scale", type=float, default=1.0)
 
+    add_serve_parser(sub)
+
     sub.add_parser("datasets", help="list dataset analogues")
 
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return cmd_serve(args)
 
     if args.command == "datasets":
         print(f"{'name':<14}{'|V|':>8}{'|E|':>9}  paper size")

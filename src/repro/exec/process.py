@@ -66,12 +66,10 @@ like :class:`~repro.systems.base.MniDomainCollector`).
 
 from __future__ import annotations
 
-import atexit
 import multiprocessing
 import os
 import pickle
 import queue as queue_mod
-import signal
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional
@@ -98,6 +96,7 @@ from repro.exec.transport import (
     zero_requester_stats,
     zero_responder_stats,
 )
+from repro.exec.janitor import install_janitor, remove_janitor
 from repro.exec.worker import worker_main
 from repro.faults import durability
 from repro.faults.recovery import (
@@ -278,7 +277,7 @@ class ProcessBackend(Backend):
             except Exception:  # pragma: no cover - best effort
                 pass
 
-        previous_handlers = self._install_janitor(unlink_segments)
+        previous_handlers = install_janitor(unlink_segments)
         try:
             result_queue = context.Queue()
             # one shared-memory reply ring per ordered worker pair
@@ -410,7 +409,7 @@ class ProcessBackend(Backend):
                     process.terminate()
                     process.join(timeout=10.0)
             unlink_segments()
-            self._remove_janitor(unlink_segments, previous_handlers)
+            remove_janitor(unlink_segments, previous_handlers)
             if session is not None:
                 durability.clear_shm_names(config.checkpoint_dir)
         wall = perf_counter() - started
@@ -428,43 +427,6 @@ class ProcessBackend(Backend):
                 scope.counter(names.CHECKPOINT_RESUMED_ROOTS).inc(
                     session.stats()["resumed_roots"])
         return counts, report
-
-    # ------------------------------------------------------------------
-    # shared-memory janitor: segments must not outlive an interrupted
-    # run (SIGINT/SIGTERM mid-execution, or interpreter exit)
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _install_janitor(cleanup) -> dict:
-        atexit.register(cleanup)
-        previous: dict = {}
-        try:
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                def handler(received, frame, signum=signum):
-                    cleanup()
-                    # restore whoever was installed before us, then
-                    # re-raise so default semantics (KeyboardInterrupt,
-                    # termination exit status) are preserved
-                    prior = previous.get(received)
-                    signal.signal(
-                        received,
-                        prior if prior is not None else signal.SIG_DFL,
-                    )
-                    os.kill(os.getpid(), received)
-                previous[signum] = signal.signal(signum, handler)
-        except ValueError:  # pragma: no cover - not the main thread
-            pass
-        return previous
-
-    @staticmethod
-    def _remove_janitor(cleanup, previous) -> None:
-        atexit.unregister(cleanup)
-        for signum, handler in previous.items():
-            try:
-                signal.signal(
-                    signum, handler if handler is not None else signal.SIG_DFL
-                )
-            except (ValueError, TypeError):  # pragma: no cover
-                pass
 
     # ------------------------------------------------------------------
     def _validate_udf(self, udf) -> None:

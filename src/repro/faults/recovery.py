@@ -27,6 +27,10 @@ class Outcome(str, Enum):
     TIMEOUT = "TIMEOUT"
     #: a remote fetch exhausted its retries; counts are partial
     DEGRADED = "DEGRADED"
+    #: the mining service declined to run the query at all (admission
+    #: cap exceeded, malformed request, or shutdown drain); no partial
+    #: work exists (docs/service.md)
+    REJECTED = "REJECTED"
     #: faults were injected, work was reassigned, counts are complete
     RECOVERED = "RECOVERED"
 

@@ -134,6 +134,20 @@ NET_COALESCED_REQUESTS = "net.coalesced_requests"
 NET_COALESCED_BATCH_VERTICES = "net.coalesced_batch_vertices"
 
 # ---------------------------------------------------------------------
+# mining service (docs/service.md) — server-lifetime registry only;
+# wall-clock, not simulated
+# ---------------------------------------------------------------------
+SERVICE_QUERIES = "service.queries"
+SERVICE_REJECTED = "service.rejected"
+SERVICE_FAILED = "service.failed"
+SERVICE_LATENCY_SECONDS = "service.latency_seconds"
+SERVICE_QUEUE_WAIT_SECONDS = "service.queue_wait_seconds"
+SERVICE_ACTIVE_QUERIES = "service.active_queries"
+SERVICE_ADMITTED_BYTES = "service.admitted_bytes"
+SERVICE_WORKERS = "service.workers"
+SERVICE_WORKER_DEATHS = "service.worker_deaths"
+
+# ---------------------------------------------------------------------
 # simulated-time attribution (Figure 15 categories)
 # ---------------------------------------------------------------------
 TIME_COMPUTE = "time.compute_seconds"
@@ -312,6 +326,37 @@ SPECS: dict[str, MetricSpec] = dict(
         _spec(NET_COALESCED_BATCH_VERTICES, "histogram", "vertices",
               "docs/execution.md",
               "vertices carried per coalesced fetch request"),
+        _spec(SERVICE_QUERIES, "counter", "queries", "docs/service.md",
+              "queries the mining service finished (any terminal "
+              "outcome, REJECTED included)"),
+        _spec(SERVICE_REJECTED, "counter", "queries", "docs/service.md",
+              "queries the admission controller or shutdown drain "
+              "declined to run"),
+        _spec(SERVICE_FAILED, "counter", "queries", "docs/service.md",
+              "queries that ran but ended with a fatal outcome "
+              "(CRASHED/OUTOFMEM/TIMEOUT/DEGRADED)"),
+        _spec(SERVICE_LATENCY_SECONDS, "histogram", "seconds",
+              "docs/service.md",
+              "wall-clock submit-to-report latency per query"),
+        _spec(SERVICE_QUEUE_WAIT_SECONDS, "histogram", "seconds",
+              "docs/service.md",
+              "wall-clock seconds a query waited in the priority "
+              "queue before dispatch"),
+        _spec(SERVICE_ACTIVE_QUERIES, "gauge", "queries",
+              "docs/service.md",
+              "queries dispatched to a serving lane and not yet "
+              "reported"),
+        _spec(SERVICE_ADMITTED_BYTES, "gauge", "bytes",
+              "docs/service.md",
+              "estimated resident bytes of the in-flight queries the "
+              "admission controller has admitted"),
+        _spec(SERVICE_WORKERS, "gauge", "processes", "docs/service.md",
+              "serving worker processes attached to the resident "
+              "graph (0 = in-process serial lane)"),
+        _spec(SERVICE_WORKER_DEATHS, "counter", "processes",
+              "docs/service.md",
+              "serving workers that died mid-query and were respawned "
+              "(the query degrades to CRASHED, the server survives)"),
         _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
               "simulated seconds charged to computation"),
         _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",

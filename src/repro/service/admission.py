@@ -1,0 +1,104 @@
+"""Admission control: bounded-memory multi-tenancy (docs/service.md).
+
+The server owns one resident cap (``--resident-mb``): the estimated
+bytes of the loaded graph plus every in-flight query must stay under
+it. The per-query estimate mirrors the engine's own memory model — one
+in-flight chunk per unfinished tree level on every machine (the
+``4 * levels * chunk_bytes`` slack the auto-fit clamp keeps inside
+node memory, :meth:`EngineConfig.memory_headroom_bytes`) plus the
+static cache's fraction of the graph — so what admission predicts is
+what the simulated machines would actually charge. HUGE (PAPERS.md)
+motivates the shape: explicit budgets, checked *before* work starts,
+are what make concurrent tenants safe.
+
+Three verdicts:
+
+- ``reject`` — the query alone (over the resident baseline) exceeds
+  the cap; it can never run here, so it terminates immediately with a
+  ``REJECTED`` FailureSummary.
+- ``wait`` — it fits alone but not alongside the current in-flight
+  set; it stays queued until capacity frees.
+- ``admit`` — it fits now; its estimate is charged until the report.
+
+Scheduling is strict-priority with head-of-line blocking: the queue
+head is the only candidate, so a big high-priority query is never
+starved by small low-priority ones slipping past it (the simple,
+predictable policy; docs/service.md discusses the trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.engine import EngineConfig
+
+#: the engine's default chunk budget, used when a query does not
+#: override ``chunk_bytes``
+DEFAULT_CHUNK_BYTES = EngineConfig().chunk_bytes
+
+#: the engine's default static-cache fraction of the graph
+DEFAULT_CACHE_FRACTION = EngineConfig().cache_fraction
+
+
+def estimate_query_bytes(
+    graph_bytes: int,
+    arity: int,
+    num_machines: int,
+    memory_bytes: int,
+    chunk_bytes: int | None = None,
+    auto_fit: bool = True,
+    cache_fraction: float = DEFAULT_CACHE_FRACTION,
+) -> int:
+    """Estimated peak resident bytes of one query across the cluster.
+
+    ``levels`` follows the engine's auto-fit rule (`arity - 2` chunked
+    tree levels, minimum one); the chunk budget is clamped exactly the
+    way the engine clamps it, so the estimate is monotone in pattern
+    arity — a clique7 census admits strictly more slack than a
+    triangle count.
+    """
+    levels = max(1, arity - 2)
+    chunk = chunk_bytes if chunk_bytes else DEFAULT_CHUNK_BYTES
+    if auto_fit:
+        headroom = EngineConfig.memory_headroom_bytes(memory_bytes, levels)
+        chunk = max(1024, min(chunk, headroom))
+    per_machine = 4 * levels * chunk + int(cache_fraction * graph_bytes)
+    return num_machines * per_machine
+
+
+class AdmissionController:
+    """Charges query estimates against the resident cap."""
+
+    def __init__(self, cap_bytes: int, baseline_bytes: int):
+        #: the configured resident cap (``--resident-mb``)
+        self.cap_bytes = cap_bytes
+        #: bytes the loaded graph itself occupies — always resident
+        self.baseline_bytes = baseline_bytes
+        self._inflight: dict[str, int] = {}
+
+    @property
+    def inflight_bytes(self) -> int:
+        return sum(self._inflight.values())
+
+    def decide(self, estimate: int) -> str:
+        """``admit`` | ``wait`` | ``reject`` for one estimate."""
+        if self.baseline_bytes + estimate > self.cap_bytes:
+            return "reject"
+        if self.baseline_bytes + self.inflight_bytes + estimate \
+                > self.cap_bytes:
+            return "wait"
+        return "admit"
+
+    def admit(self, query_id: str, estimate: int) -> None:
+        self._inflight[query_id] = estimate
+
+    def release(self, query_id: str) -> None:
+        self._inflight.pop(query_id, None)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "cap_bytes": self.cap_bytes,
+            "baseline_bytes": self.baseline_bytes,
+            "inflight_bytes": self.inflight_bytes,
+            "inflight_queries": len(self._inflight),
+        }

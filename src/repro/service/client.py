@@ -1,0 +1,56 @@
+"""In-process client API for the mining service.
+
+Tests and benchmarks talk to a :class:`MiningServer` directly through
+this class — no sockets, no serialization beyond what the worker lanes
+need. A client is just a thin, thread-safe veneer over
+``server.submit``: handles are futures, ``query`` is the synchronous
+convenience, and the context manager guarantees the leak-free
+shutdown path runs (docs/service.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.service.protocol import QueryReport, QueryRequest
+from repro.service.server import MiningServer, QueryHandle
+
+
+class ServiceClient:
+    """Submit queries to a resident :class:`MiningServer`."""
+
+    def __init__(self, server: MiningServer):
+        self.server = server
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: Optional[QueryRequest] = None,
+               **kwargs) -> QueryHandle:
+        """Queue one query; pass a :class:`QueryRequest` or its fields
+        as keyword arguments."""
+        if request is None:
+            request = QueryRequest(**kwargs)
+        return self.server.submit(request)
+
+    def query(self, request: Optional[QueryRequest] = None,
+              timeout: Optional[float] = 300.0,
+              **kwargs) -> QueryReport:
+        """Submit and wait for the report."""
+        return self.submit(request, **kwargs).result(timeout=timeout)
+
+    def run_trace(self, requests: Iterable[QueryRequest],
+                  timeout: Optional[float] = 300.0) -> list[QueryReport]:
+        """Submit a whole trace up front (so the priority queue and
+        admission controller actually see concurrent work), then
+        collect every report in submission order."""
+        handles = [self.submit(request) for request in requests]
+        return [handle.result(timeout=timeout) for handle in handles]
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self) -> dict:
+        return self.server.shutdown()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.server.shutdown()

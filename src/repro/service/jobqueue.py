@@ -1,0 +1,44 @@
+"""The priority job queue feeding the serving lanes.
+
+A max-priority heap with FIFO order inside one priority class: ties
+break on a monotonically increasing sequence number, so two queries
+submitted at the same priority dispatch in arrival order — the
+determinism the equivalence tests rely on. Not thread-safe by itself;
+the server serializes access under its own lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+
+class PriorityJobQueue:
+    """Higher ``priority`` pops first; FIFO within a priority."""
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, Any]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, priority: int, item: Any) -> None:
+        heapq.heappush(self._heap, (-priority, self._sequence, item))
+        self._sequence += 1
+
+    def peek(self) -> Optional[Any]:
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self) -> Any:
+        return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> list[Any]:
+        """Empty the queue in dispatch order (the shutdown path)."""
+        drained = []
+        while self._heap:
+            drained.append(self.pop())
+        return drained

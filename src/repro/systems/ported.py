@@ -18,7 +18,7 @@ from repro.core.runtime import RunReport
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.graph.orientation import orient_by_degree
-from repro.obs import Observability
+from repro.obs import NULL_OBS, Observability
 from repro.patterns.catalog import clique
 from repro.patterns.isomorphism import automorphisms, are_isomorphic
 from repro.patterns.pattern import Pattern
@@ -54,6 +54,34 @@ class PortedSystem(GPMSystem):
             self.cluster, self.engine_config, obs=obs, backend=backend
         )
         self._oriented: Optional[tuple[Cluster, KhuzdulEngine]] = None
+
+    def reconfigure(
+        self,
+        engine_config: Optional[EngineConfig] = None,
+        obs: Optional[Observability] = None,
+    ) -> "PortedSystem":
+        """Rebind the per-run tunables of a *resident* system.
+
+        The mining service (docs/service.md) keeps one system instance
+        alive across queries so the expensive state — the partitioned
+        cluster, and the lazily built oriented-DAG cluster — is paid
+        once; what differs between two served queries is exactly the
+        engine config (time budget, chunk size, extend mode) and the
+        observability bundle (a fresh registry per query, for tenant
+        isolation). ``obs=None`` disables observability, mirroring the
+        constructor.
+        """
+        if engine_config is not None:
+            self.engine_config = engine_config
+            self.engine.config = engine_config
+            if self._oriented is not None:
+                self._oriented[1].config = engine_config
+        self.obs = obs
+        bound = obs if obs is not None else NULL_OBS
+        self.engine.obs = bound
+        if self._oriented is not None:
+            self._oriented[1].obs = bound
+        return self
 
     # -- the port-specific part -----------------------------------------
     def build_schedule(

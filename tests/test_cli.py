@@ -1,5 +1,7 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import _parse_pattern, main
@@ -80,3 +82,88 @@ def test_experiment_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# ---------------------------------------------------------------------
+# the serve subcommand (docs/service.md)
+# ---------------------------------------------------------------------
+SERVE_BASE = ["serve", "--graph", "mico", "--scale", "0.2",
+              "--machines", "2", "--cores", "2"]
+
+
+def _write_trace(tmp_path, lines):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def test_serve_happy_path(tmp_path, capsys):
+    trace = _write_trace(tmp_path, [
+        '{"id": "t", "app": "triangle"}',
+        '{"id": "c", "app": "count", "pattern": "clique4"}',
+    ])
+    code = main(SERVE_BASE + ["--input", trace])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "service: ready graph=mico" in out
+    assert "outcome: OK query=t" in out
+    assert "outcome: OK query=c" in out
+    assert "service session: 2 queries (ok=2 rejected=0 failed=0)" in out
+
+
+def test_serve_bad_query_fails_itself_not_the_session(tmp_path, capsys):
+    trace = _write_trace(tmp_path, [
+        '{"id": "good", "app": "triangle"}',
+        "this is not json",
+        '{"id": "bad", "pattern": "dodecahedron"}',
+    ])
+    code = main(SERVE_BASE + ["--input", trace])
+    assert code == 1  # rejected queries are fatal outcomes
+    out = capsys.readouterr().out
+    assert "outcome: OK query=good" in out
+    assert out.count("outcome: REJECTED") == 2
+    assert "service session: 3 queries (ok=1 rejected=2 failed=0)" in out
+
+
+def test_serve_json_mode_streams_reports(tmp_path, capsys):
+    trace = _write_trace(tmp_path, ['{"id": "t", "app": "triangle"}'])
+    code = main(SERVE_BASE + ["--metrics", "json", "--input", trace])
+    assert code == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(line) for line in captured.out.splitlines()
+             if line.strip()]
+    hello, report, summary = lines
+    assert hello["service"] == "ready"
+    assert hello["graph"] == "mico" and hello["workers"] == 0
+    assert report["id"] == "t" and report["outcome"] == "OK"
+    assert report["counts"] == 1562
+    assert report["metrics"]["counters"]
+    assert summary["service"] == "summary" and summary["ok"] == 1
+    assert "service.queries" in summary["metrics"]["counters"]
+    # outcome lines move to stderr in json mode
+    assert "outcome: OK query=t" in captured.err
+
+
+@pytest.mark.parametrize("flags, message", [
+    (["--workers", "-3"], "workers must be >= 0"),
+    (["--memory-kb", "0"], "memory_kb must be positive"),
+    (["--resident-mb", "0"], "resident_mb must be positive"),
+    (["--scale", "-1"], "scale must be positive"),
+    (["--heartbeat", "0"], "heartbeat must be positive"),
+])
+def test_serve_validates_config_before_reading_queries(
+        tmp_path, flags, message):
+    trace = _write_trace(tmp_path, ['{"app": "triangle"}'])
+    with pytest.raises(SystemExit) as excinfo:
+        main(SERVE_BASE + flags + ["--input", trace])
+    assert "configuration error" in str(excinfo.value)
+    assert message in str(excinfo.value)
+
+
+def test_serve_rejects_checkpoint_dir_that_is_a_file(tmp_path):
+    bogus = tmp_path / "not-a-dir"
+    bogus.write_text("occupied")
+    with pytest.raises(SystemExit) as excinfo:
+        main(SERVE_BASE + ["--checkpoint-dir", str(bogus)])
+    assert "configuration error" in str(excinfo.value)
+    assert "not a directory" in str(excinfo.value)
