@@ -129,12 +129,20 @@ def cmd_serve(args) -> int:
             chunk_bytes=args.chunk_bytes,
             extend_mode=args.extend_mode,
         )
+        if args.input:
+            try:
+                stream = open(args.input)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot read --input: {exc}"
+                ) from exc
+        else:
+            stream = sys.stdin
         server = MiningServer(config).start()
     except ConfigurationError as exc:
         raise SystemExit(f"configuration error: {exc}")
 
     json_mode = args.metrics == "json"
-    stream = open(args.input) if args.input else sys.stdin
     if json_mode:
         print(json.dumps(server.describe()), flush=True)
     else:
@@ -176,11 +184,15 @@ def cmd_serve(args) -> int:
             flush_ready(block=True)
         except KeyboardInterrupt:
             pass  # drain below resolves every outstanding handle
+        finally:
+            # hand SIGTERM back to the janitor chain *before*
+            # shutdown() runs remove_janitor — restoring afterwards
+            # would re-arm a handler whose cleanup has already run
+            signal.signal(signal.SIGTERM, previous_term)
         summary = server.shutdown()
         flush_ready(block=True)
         _emit_summary(summary, json_mode)
     finally:
-        signal.signal(signal.SIGTERM, previous_term)
         if stream is not sys.stdin:
             stream.close()
     fatal = sum(1 for handle in handles if handle.report.fatal)

@@ -141,6 +141,19 @@ class QueryRequest:
                 f"extend_mode must be 'batched' or 'scalar', "
                 f"got {self.extend_mode!r}"
             )
+        if self.chaos is not None:
+            ok = self.chaos == "exit"
+            if (not ok and isinstance(self.chaos, str)
+                    and self.chaos.startswith("sleep:")):
+                try:
+                    ok = float(self.chaos.split(":", 1)[1]) >= 0
+                except ValueError:
+                    ok = False
+            if not ok:
+                raise ConfigurationError(
+                    f"chaos must be 'exit' or 'sleep:<seconds>', "
+                    f"got {self.chaos!r}"
+                )
 
     def effective_pattern(self) -> str:
         return "clique3" if self.app == "triangle" else self.pattern

@@ -32,8 +32,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import queue as queue_mod
 import threading
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
@@ -246,9 +246,19 @@ class MiningServer:
         self._executor: Optional[QueryExecutor] = None
         self._shared = None
         self._context = None
-        self._results = None
         self._inboxes: list = []
         self._processes: dict[int, Any] = {}
+        #: per-lane result pipe reader, one per *incarnation*. A pipe
+        #: has exactly one writer (the worker) and one reader (the
+        #: collector) — no shared locks, so a worker SIGKILLed at any
+        #: instant can never poison the results path for its
+        #: successor, and its death surfaces immediately as EOF.
+        #: None marks an incarnation seen dead (EOF) awaiting respawn.
+        self._result_readers: dict[int, Any] = {}
+        #: per-lane spawn epoch; inbox items carry the epoch they were
+        #: dispatched under, so a respawned worker drops requests
+        #: addressed to its dead predecessor instead of replaying them
+        self._epochs: dict[int, int] = {}
         self._inflight: dict[int, QueryHandle] = {}
         self._free_workers: set[int] = set()
         self._collector: Optional[threading.Thread] = None
@@ -307,9 +317,7 @@ class MiningServer:
                 config.checkpoint_dir,
                 self._shared.handle.segment_names(),
             )
-        self._results = self._context.Queue()
-        self._inboxes = [self._context.Queue()
-                         for _ in range(config.workers)]
+        self._inboxes = [None] * config.workers
         for worker_id in range(config.workers):
             self._processes[worker_id] = self._spawn_worker(worker_id)
         self._free_workers = set(range(config.workers))
@@ -320,14 +328,36 @@ class MiningServer:
         self._collector.start()
 
     def _spawn_worker(self, worker_id: int):
+        epoch = self._epochs.get(worker_id, 0) + 1
+        self._epochs[worker_id] = epoch
+        # a fresh inbox per incarnation: requests enqueued for a dead
+        # predecessor — and the reader lock a SIGKILLed predecessor
+        # may have died holding — are abandoned with the old queue
+        self._inboxes[worker_id] = self._context.Queue()
+        # ... and a fresh result pipe: closing the old reader makes a
+        # dead incarnation's results physically undeliverable, and a
+        # single-writer pipe means a worker SIGKILLed mid-send leaves
+        # no shared lock behind (unlike a Queue's shared write lock,
+        # which would deadlock every successor's feeder thread)
+        old_reader = self._result_readers.get(worker_id)
+        if old_reader is not None:
+            try:
+                old_reader.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        reader, writer = self._context.Pipe(duplex=False)
+        self._result_readers[worker_id] = reader
         process = self._context.Process(
             target=service_worker_main,
-            args=(worker_id, self._shared.handle, self.config,
-                  os.getpid(), self._inboxes[worker_id], self._results),
+            args=(worker_id, epoch, self._shared.handle, self.config,
+                  os.getpid(), self._inboxes[worker_id], writer),
             name=f"repro-service-{worker_id}",
             daemon=True,
         )
         process.start()
+        # the worker owns the write end now; dropping the server's copy
+        # turns that incarnation's death into an immediate EOF
+        writer.close()
         return process
 
     def describe(self) -> dict[str, Any]:
@@ -473,33 +503,98 @@ class MiningServer:
                     self._free_workers.discard(worker_id)
                     self._inflight[worker_id] = handle
                     handle.worker = worker_id
+                    epoch = self._epochs[worker_id]
                 self._refresh_gauges_locked()
             if self.config.workers > 0:
-                self._inboxes[handle.worker].put(handle.request)
+                self._inboxes[handle.worker].put((epoch, handle.request))
             else:
-                payload = self._executor.execute(handle.request)
+                try:
+                    payload = self._executor.execute(handle.request)
+                except Exception as exc:  # the dispatcher must survive
+                    payload = refusal_payload(
+                        Outcome.CRASHED, f"{type(exc).__name__}: {exc}"
+                    )
                 self._complete(handle, payload, worker=None)
 
     def _collect_loop(self) -> None:
-        """Gather worker payloads; sweep liveness while idle."""
+        """Gather worker payloads; sweep liveness on idle and on EOF.
+
+        Only this thread recvs from, closes, or replaces the result
+        readers, so the wait set can never change under it. A reader
+        hitting EOF (its worker died) is retired immediately; the
+        sweep reconciles the death and respawns the lane.
+        """
         while not self._collector_stop.is_set():
-            try:
-                worker_id, query_id, payload = self._results.get(
-                    timeout=self.config.heartbeat
-                )
-            except queue_mod.Empty:
+            with self._wake:
+                readers = {reader: worker_id for worker_id, reader
+                           in self._result_readers.items()
+                           if reader is not None}
+            if not readers:
+                self._collector_stop.wait(self.config.heartbeat)
                 self._sweep_workers()
                 continue
-            with self._wake:
-                handle = self._inflight.pop(worker_id, None)
-                self._free_workers.add(worker_id)
-                self._wake.notify_all()
-            if handle is not None and handle.request.id == query_id:
-                self._complete(handle, payload, worker=worker_id)
+            try:
+                ready = mp_connection.wait(
+                    list(readers), timeout=self.config.heartbeat
+                )
+            except OSError:  # pragma: no cover - torn pipe
+                ready = []
+            if not ready:
+                self._sweep_workers()
+                continue
+            dead = False
+            for reader in ready:
+                worker_id = readers[reader]
+                try:
+                    query_id, payload = reader.recv()
+                except (EOFError, OSError):
+                    self._retire_reader(worker_id, reader)
+                    dead = True
+                    continue
+                self._handle_result(worker_id, query_id, payload)
+            if dead:
+                self._sweep_workers()
+
+    def _retire_reader(self, worker_id: int, reader) -> None:
+        """Drop a dead incarnation's reader from the wait set (EOF
+        would otherwise spin it hot until the sweep respawns)."""
+        with self._wake:
+            if self._result_readers.get(worker_id) is reader:
+                self._result_readers[worker_id] = None
+        try:
+            reader.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _handle_result(self, worker_id: int, query_id: str,
+                       payload: dict) -> None:
+        """Complete the query a lane result answers — or drop it.
+
+        Results from dead incarnations cannot arrive here at all
+        (their pipe reader is closed at respawn); the id check guards
+        the remaining mismatch — a result that does not answer the
+        query this lane is serving must never pop the in-flight
+        handle or free a busy worker, or the lane desynchronizes.
+        """
+        with self._wake:
+            handle = self._inflight.get(worker_id)
+            if handle is None or handle.request.id != query_id:
+                return  # not the query this lane is serving right now
+            del self._inflight[worker_id]
+            self._free_workers.add(worker_id)
+            self._wake.notify_all()
+        self._complete(handle, payload, worker=worker_id)
 
     def _sweep_workers(self) -> None:
         """Respawn dead workers; their in-flight query degrades to
-        CRASHED — one query, not the server (docs/service.md)."""
+        CRASHED — one query, not the server (docs/service.md).
+
+        Only the collector thread calls this, so draining the result
+        pipes first is race-free: a worker that finished its query
+        and *then* died gets its genuine result delivered instead of
+        a spurious CRASHED report.
+        """
+        self._drain_results()
         victims = []
         with self._wake:
             for worker_id, process in list(self._processes.items()):
@@ -675,17 +770,28 @@ class MiningServer:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=10.0)
+        for worker_id, reader in list(self._result_readers.items()):
+            if reader is not None:
+                try:
+                    reader.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        self._result_readers.clear()
 
     def _drain_results(self) -> None:
-        if self._results is None:
-            return
-        while True:
-            try:
-                self._results.get_nowait()
-            except queue_mod.Empty:
-                return
-            except (OSError, EOFError):  # pragma: no cover - torn queue
-                return
+        """Deliver every already-shipped result. Called only from the
+        collector thread (sweep) or after it has joined (shutdown)."""
+        for worker_id, reader in list(self._result_readers.items()):
+            if reader is None:
+                continue
+            while True:
+                try:
+                    if not reader.poll(0):
+                        break
+                    query_id, payload = reader.recv()
+                except (EOFError, OSError):
+                    break  # dead incarnation; the sweep reconciles it
+                self._handle_result(worker_id, query_id, payload)
 
     # ------------------------------------------------------------------
     def _session_summary(self) -> dict[str, Any]:

@@ -88,10 +88,12 @@ class QueryExecutor:
     def execute(self, request: QueryRequest) -> dict[str, Any]:
         """Run one query; always returns a payload, never raises."""
         started = perf_counter()
-        if request.chaos and request.chaos.startswith("sleep:"):
-            time.sleep(float(request.chaos.split(":", 1)[1]))
         try:
             request.validate()
+            if request.chaos and request.chaos.startswith("sleep:"):
+                # validated above: a malformed chaos spec is REJECTED,
+                # never an exception out of the lane
+                time.sleep(float(request.chaos.split(":", 1)[1]))
             obs = Observability() if self.config.metrics else None
             system = self._system(request.system or self.config.system)
             system.reconfigure(self._engine_config(request), obs)
@@ -132,13 +134,27 @@ class QueryExecutor:
 
 def service_worker_main(
     worker_id: int,
+    epoch: int,
     csr_handle,
     config,
     parent_pid: int,
     inbox,
-    results,
+    result_conn,
 ) -> None:
-    """Entry point of one serving worker process."""
+    """Entry point of one serving worker process.
+
+    ``epoch`` is this incarnation's spawn count for the lane; inbox
+    items carry the epoch they were dispatched under, so a request
+    addressed to a dead predecessor (enqueued in the window between
+    the dispatcher's put and the predecessor's get) is discarded
+    instead of replayed — the server already reported it ``CRASHED``,
+    and a replayed result would desynchronize the lane.
+
+    ``result_conn`` is this incarnation's private pipe: one writer
+    (here), one reader (the collector), no shared locks — so dying at
+    any instant, even mid-send, poisons nothing and surfaces to the
+    server as an immediate EOF.
+    """
     from repro.graph.csr import attach_csr  # after fork/spawn
 
     shared = attach_csr(csr_handle)
@@ -153,8 +169,12 @@ def service_worker_main(
                 continue
             if item == SHUTDOWN:
                 return
-            if item.chaos == "exit":
+            item_epoch, request = item
+            if item_epoch != epoch:
+                continue  # a dead predecessor's leftover request
+            if request.chaos == "exit":
                 os._exit(3)  # deterministic worker-death test hook
-            results.put((worker_id, item.id, executor.execute(item)))
+            result_conn.send((request.id, executor.execute(request)))
     finally:
         shared.close()
+        result_conn.close()

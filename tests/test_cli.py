@@ -160,6 +160,13 @@ def test_serve_validates_config_before_reading_queries(
     assert message in str(excinfo.value)
 
 
+def test_serve_missing_input_is_a_configuration_error(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(SERVE_BASE + ["--input", str(tmp_path / "no-such-trace")])
+    assert "configuration error" in str(excinfo.value)
+    assert "cannot read --input" in str(excinfo.value)
+
+
 def test_serve_rejects_checkpoint_dir_that_is_a_file(tmp_path):
     bogus = tmp_path / "not-a-dir"
     bogus.write_text("occupied")

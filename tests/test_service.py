@@ -36,7 +36,7 @@ from repro.service import (
     estimate_query_bytes,
     parse_pattern_spec,
 )
-from repro.service.protocol import jsonable_counts
+from repro.service.protocol import jsonable_counts, refusal_payload
 from repro.systems import KAutomine, KGraphPi, motif_count
 
 pytestmark = pytest.mark.service
@@ -131,6 +131,16 @@ def test_request_roundtrip_and_validation():
         QueryRequest(induced=True, oriented=True).validate()
     with pytest.raises(ConfigurationError):
         QueryRequest(app="motifs", size=9).validate()
+    # chaos comes in from wire JSON too: garbage must be REJECTED at
+    # validation, never an exception out of a serving lane
+    with pytest.raises(ConfigurationError):
+        QueryRequest(chaos="sleep:x").validate()
+    with pytest.raises(ConfigurationError):
+        QueryRequest(chaos="sleep:-1").validate()
+    with pytest.raises(ConfigurationError):
+        QueryRequest(chaos="frobnicate").validate()
+    QueryRequest(chaos="exit").validate()
+    QueryRequest(chaos="sleep:0.25").validate()
 
 
 def test_request_arity_drives_admission_estimate():
@@ -345,6 +355,104 @@ def test_worker_death_degrades_one_query_not_the_server():
     assert summary["worker_deaths"] == 1
     assert summary["ok"] == 1
     assert server.janitor_runs == 1
+
+
+def test_worker_death_before_pickup_does_not_wedge_the_lane():
+    """The dispatch window the 'exit' hook cannot reach: the worker
+    dies *between* the dispatcher's inbox.put and its own inbox.get.
+    The respawned incarnation must discard the leftover request (it
+    was already reported CRASHED) instead of replaying it — a replayed
+    result used to desynchronize the lane and wedge it forever."""
+    server = small_server(workers=1, heartbeat=0.4)
+    client = ServiceClient(server)
+    try:
+        warmup = client.query(id="warmup", app="triangle", timeout=60.0)
+        assert warmup.ok
+        # kill the idle worker; the dispatcher still believes the lane
+        # is free, so the next request lands in a dead worker's inbox
+        process = server._processes[0]
+        process.kill()
+        process.join(timeout=10.0)
+        assert process.exitcode is not None
+        orphaned = client.query(id="orphaned", app="triangle",
+                                timeout=60.0)
+        # CRASHED when dispatched into the death window, OK if the
+        # sweep respawned first — either way it must terminate
+        assert orphaned.outcome in ("OK", Outcome.CRASHED.value)
+        # the lane is not wedged: later queries still complete
+        for i in range(2):
+            healthy = client.query(id=f"after-{i}", app="triangle",
+                                   timeout=60.0)
+            assert healthy.ok and healthy.counts == 1562
+    finally:
+        summary = server.shutdown()
+    assert summary["worker_deaths"] == 1
+    assert summary["queries"] == 4
+
+
+def test_stale_inbox_request_is_discarded_by_respawned_worker():
+    """A request tagged with a dead predecessor's epoch (left behind
+    in the dispatch window) must be dropped by the worker, never
+    replayed — a replayed result answers a query the server already
+    reported CRASHED and desynchronizes the lane."""
+    server = small_server(workers=1, heartbeat=0.1)
+    client = ServiceClient(server)
+    try:
+        server._inboxes[0].put(
+            (0, QueryRequest(id="ghost", app="triangle"))
+        )
+        healthy = client.query(id="after", app="triangle", timeout=60.0)
+        assert healthy.ok and healthy.counts == 1562
+        assert server.completed_ids() == ["after"]
+    finally:
+        summary = server.shutdown()
+    assert summary["queries"] == 1
+
+
+def test_mismatched_result_never_frees_a_busy_worker():
+    """A result that does not answer the query a lane is serving must
+    not pop the in-flight handle or free the busy worker. (Results
+    from dead incarnations cannot arrive at all — their private pipe
+    reader is closed at respawn — so the id guard is the last line.)"""
+    server = small_server(workers=1, heartbeat=0.1)
+    client = ServiceClient(server)
+    try:
+        blocker = client.submit(id="blocker", app="triangle",
+                                chaos="sleep:0.5")
+        deadline = 100
+        while blocker.dispatch_time is None and deadline:
+            time.sleep(0.02)
+            deadline -= 1
+        stale = refusal_payload(Outcome.CRASHED, "stale incarnation")
+        server._handle_result(0, "bogus", stale)
+        report = blocker.result(timeout=60.0)
+        assert report.ok and report.counts == 1562
+        healthy = client.query(id="after", app="triangle", timeout=60.0)
+        assert healthy.ok
+        assert server.completed_ids() == ["blocker", "after"]
+    finally:
+        summary = server.shutdown()
+    assert summary["ok"] == 2
+    assert summary["worker_deaths"] == 0
+
+
+def test_bad_chaos_spec_fails_itself_not_the_dispatcher():
+    """A malformed chaos field from the wire must become a REJECTED
+    report; it used to raise out of execute() and kill the serial
+    lane's dispatcher thread, silently wedging the server."""
+    server = small_server()
+    client = ServiceClient(server)
+    try:
+        bad = client.query(id="bad-chaos", app="triangle",
+                           chaos="sleep:x", timeout=60.0)
+        assert bad.outcome == "REJECTED"
+        assert "chaos" in bad.message()
+        healthy = client.query(id="after", app="triangle", timeout=60.0)
+        assert healthy.ok and healthy.counts == 1562
+    finally:
+        summary = server.shutdown()
+    assert summary["rejected"] == 1
+    assert summary["ok"] == 1
 
 
 # ---------------------------------------------------------------------
