@@ -13,11 +13,12 @@ TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && ech
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest $(TIMEOUT_FLAGS)
 
 .PHONY: test suite docs-check faults-check exec-check exec-faults-check \
-	chaos-check perf-check perf-bench service-check bench
+	chaos-check motif-check perf-check perf-bench perf-bench-motifs \
+	service-check bench
 
 ## tier-1: full suite, then the docs/fault/backend/perf contracts
 test: suite docs-check faults-check exec-check exec-faults-check \
-	chaos-check perf-check service-check
+	chaos-check motif-check perf-check service-check
 
 suite:
 	$(PYTEST) -x -q
@@ -46,6 +47,13 @@ chaos-check:
 	PYTHONPATH=src:. $(PYTHON) -m pytest $(TIMEOUT_FLAGS) \
 		benchmarks/chaos.py -q
 
+## IEP counting-plan suite (docs/performance.md, "Inclusion–exclusion
+## counting"): plan compilation, bit-identity against the enumeration
+## oracle across extend modes and backends, the 3/4/5-motif census
+## (IEP route vs induced oracle), and the schedule cost-model pins
+motif-check:
+	$(PYTEST) tests/test_iep.py -q
+
 ## wall-clock perf gates: tiny-graph smoke (batched EXTEND never loses
 ## to scalar, counts agree) plus the headline process-backend speedup
 ## gate with its CPU-aware floor — >=2x over inline-batched at 4
@@ -60,6 +68,13 @@ perf-check:
 perf-bench:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_wallclock.py \
 		--out BENCH_PR6.json
+
+## full motif-census sweep (IEP vs enumerate on k-GraphPi); writes
+## BENCH_PR9.json — the 5-motif row is the >=3x IEP-over-enumerate
+## headline (docs/performance.md, "Inclusion–exclusion counting")
+perf-bench-motifs:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_wallclock.py \
+		--motifs --out BENCH_PR9.json
 
 ## resident mining service: equivalence/admission/shutdown suite plus
 ## the latency/throughput load harness — one server answers a mixed

@@ -25,6 +25,14 @@ Each (config, mode) pair is timed best-of-``--repeats`` end-to-end
 ``count_pattern`` runs on a fresh system, so graph-side lazy caches
 (degrees, adjacency bitmap) warm up exactly once per process the same
 way for both modes.
+
+``--motifs`` switches to the motif-census sweep instead: full k-motif
+censuses on k-GraphPi under ``counting="enumerate"`` vs
+``counting="iep"`` (docs/performance.md, "Inclusion–exclusion
+counting"). The full sweep is what produces the committed
+BENCH_PR9.json, whose 5-motif row must show a >= 3x IEP-over-enumerate
+speedup; the smoke variant gates ``make perf-check`` at the
+conservative :data:`MOTIF_GATE_FLOOR`.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ from repro.core import EngineConfig
 from repro.exec import ProcessBackend
 from repro.graph import dataset
 from repro.patterns import catalog
-from repro.systems import KAutomine
+from repro.systems import KAutomine, KGraphPi, apps
 
 from benchmarks.conftest import BENCH_DIR, SCALE, emit_json, run_once
 
@@ -70,6 +78,24 @@ _HEADLINE_CONFIG = ("wdc", 1.0, "clique3")
 #: process-speedup gates skip them (docs/performance.md)
 GATE_MIN_INLINE_SECONDS = 0.2
 _OUT = BENCH_DIR / "wallclock.json"
+
+#: (graph, scale, census size) — the motif-census sweep
+#: (docs/performance.md, "Inclusion–exclusion counting"); the 5-motif
+#: row is the BENCH_PR9.json headline (>= 3x IEP over enumerate)
+_MOTIF_FULL_CONFIGS = (
+    ("mico", 1.0, 4),
+    ("mico", 0.6, 5),
+)
+#: CI smoke: one small 4-motif census
+_MOTIF_SMOKE_CONFIGS = (
+    ("mico", 0.3, 4),
+)
+#: conservative `make perf-check` floor on the IEP-over-enumerate
+#: ratio — the measured smoke ratio is ~3x, but wall clocks on shared
+#: CI hosts are noisy; the committed BENCH_PR9.json documents the
+#: >= 3x headline on the full 5-motif row
+MOTIF_GATE_FLOOR = 1.3
+_MOTIF_OUT = BENCH_DIR / "wallclock_motifs.json"
 
 
 def effective_cpus() -> int:
@@ -263,6 +289,138 @@ def measure_headline_process(repeats: int = 2,
     }
 
 
+def _time_census(graph, graph_name, k, counting, backend=None, repeats=2):
+    """Best-of-``repeats`` wall seconds of one full ``k``-motif census.
+
+    k-GraphPi, not k-Automine: counting plans compile off GraphPi-style
+    schedules with full symmetry restrictions, and the IEP-aware order
+    search lives in ``graphpi_schedule`` (docs/performance.md).
+    """
+    best = None
+    report = None
+    for _ in range(repeats):
+        system = KGraphPi(
+            graph,
+            ClusterConfig(num_machines=_NUM_MACHINES),
+            EngineConfig(counting=counting),
+            graph_name=graph_name,
+            backend=backend,
+        )
+        started = perf_counter()
+        report = apps.motif_count(system, k)
+        elapsed = perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, report
+
+
+def measure_motifs(
+    configs,
+    repeats: int = 2,
+    worker_counts: tuple[int, ...] = (),
+) -> dict:
+    """Time every census config under ``counting="enumerate"`` and
+    ``counting="iep"`` (and under the process backend for both modes
+    when ``worker_counts`` is non-empty), asserting the induced censuses
+    are identical — IEP is an exact rewrite, never an approximation."""
+    rows = []
+    for graph_name, scale, k in configs:
+        graph = dataset(graph_name, scale=scale * SCALE)
+        enum_wall, enum_report = _time_census(
+            graph, graph_name, k, "enumerate", repeats=repeats
+        )
+        iep_wall, iep_report = _time_census(
+            graph, graph_name, k, "iep", repeats=repeats
+        )
+        assert iep_report.counts == enum_report.counts, (
+            f"counting divergence on {graph_name}/{k}-MC: "
+            f"{iep_report.counts} != {enum_report.counts}"
+        )
+        row = {
+            "graph": graph_name,
+            "scale": scale * SCALE,
+            "app": f"{k}-MC",
+            "motifs": len(enum_report.counts),
+            # census dicts are keyed by canonical-code tuples (not
+            # JSON keys); values follow the motifs(k) catalog order
+            "counts": list(enum_report.counts.values()),
+            "enumerate_wall_seconds": enum_wall,
+            "iep_wall_seconds": iep_wall,
+            "speedup_iep_over_enumerate": (
+                enum_wall / iep_wall if iep_wall else 0.0
+            ),
+        }
+        process = {}
+        for workers in worker_counts:
+            p_enum_wall, p_enum_report = _time_census(
+                graph, graph_name, k, "enumerate",
+                backend=ProcessBackend(workers=workers), repeats=repeats,
+            )
+            p_iep_wall, p_iep_report = _time_census(
+                graph, graph_name, k, "iep",
+                backend=ProcessBackend(workers=workers), repeats=repeats,
+            )
+            assert p_enum_report.counts == enum_report.counts, (
+                f"backend divergence on {graph_name}/{k}-MC (enumerate)"
+            )
+            assert p_iep_report.counts == enum_report.counts, (
+                f"backend divergence on {graph_name}/{k}-MC (iep)"
+            )
+            process[str(workers)] = {
+                "enumerate_wall_seconds": p_enum_wall,
+                "iep_wall_seconds": p_iep_wall,
+                "speedup_iep_over_enumerate": (
+                    p_enum_wall / p_iep_wall if p_iep_wall else 0.0
+                ),
+                "workers_effective": min(workers, _NUM_MACHINES),
+            }
+        if process:
+            row["process"] = process
+        rows.append(row)
+    return {
+        "bench": "wallclock_motifs",
+        "cpus": cpu_info(),
+        "repeats": repeats,
+        "rows": rows,
+    }
+
+
+def motif_gate_failures(result: dict, floor: float):
+    """IEP-ratio gate: every census row (inline and process) must show
+    at least ``floor``x IEP-over-enumerate speedup."""
+    failures = []
+    for row in result["rows"]:
+        entries = [("inline", row)] + [
+            (f"{workers} workers", entry)
+            for workers, entry in row.get("process", {}).items()
+        ]
+        for where, entry in entries:
+            speedup = entry["speedup_iep_over_enumerate"]
+            if speedup < floor:
+                failures.append(
+                    f"{row['graph']}/{row['app']} ({where}): "
+                    f"speedup_iep_over_enumerate {speedup:.2f} < "
+                    f"gate {floor:.2f}"
+                )
+    return failures
+
+
+def test_wallclock_motif_smoke(benchmark):
+    """The motif-census leg of ``make perf-check``: IEP terminal
+    counting must produce the exact induced census of the enumeration
+    oracle (asserted inside :func:`measure_motifs`) and beat it by at
+    least :data:`MOTIF_GATE_FLOOR` on the smoke config — the measured
+    ratio is ~3x, the gate is deliberately slack for noisy CI hosts."""
+    result = run_once(
+        benchmark, lambda: measure_motifs(_MOTIF_SMOKE_CONFIGS, repeats=2)
+    )
+    emit_json(result, _MOTIF_OUT)
+    assert result["rows"]
+    failures = motif_gate_failures(result, MOTIF_GATE_FLOOR)
+    assert not failures, (
+        "IEP-over-enumerate ratio gate failed: " + "; ".join(failures)
+    )
+
+
 def test_wallclock_smoke(benchmark):
     """The ``make perf-check`` gate: on the tiny smoke configs the
     batched kernels must not lose to the scalar reference, and both
@@ -308,6 +466,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="run the tiny CI config set instead of the full sweep",
     )
     parser.add_argument(
+        "--motifs", action="store_true",
+        help="run the motif-census sweep (IEP vs enumerate) instead of "
+             "the batched-vs-scalar EXTEND sweep; emits BENCH_PR9-style "
+             "rows with speedup_iep_over_enumerate",
+    )
+    parser.add_argument(
+        "--motif-gate", type=float, default=None, metavar="FLOOR",
+        help="with --motifs: fail (exit 1) if any census row has "
+             "speedup_iep_over_enumerate below FLOOR",
+    )
+    parser.add_argument(
         "--repeats", type=int, default=3,
         help="runs per (config, mode); best is reported (default 3)",
     )
@@ -338,8 +507,28 @@ def main(argv: Optional[list[str]] = None) -> int:
              f"scaling; default {GATE_MIN_INLINE_SECONDS})",
     )
     args = parser.parse_args(argv)
-    configs = _SMOKE_CONFIGS if args.smoke else _FULL_CONFIGS
     workers = () if args.no_process else _WORKER_COUNTS
+    if args.motifs:
+        configs = (
+            _MOTIF_SMOKE_CONFIGS if args.smoke else _MOTIF_FULL_CONFIGS
+        )
+        result = measure_motifs(
+            configs, repeats=args.repeats, worker_counts=workers
+        )
+        out = args.out if args.out != _OUT else _MOTIF_OUT
+        emit_json(result, out)
+        if args.motif_gate is not None:
+            failures = motif_gate_failures(result, args.motif_gate)
+            if failures:
+                print("IEP-over-enumerate ratio gate FAILED "
+                      f"(floor {args.motif_gate:.2f}):")
+                for failure in failures:
+                    print(f"  {failure}")
+                return 1
+            print(f"IEP-over-enumerate ratio gate ok "
+                  f"(floor {args.motif_gate:.2f})")
+        return 0
+    configs = _SMOKE_CONFIGS if args.smoke else _FULL_CONFIGS
     result = measure(configs, repeats=args.repeats, worker_counts=workers)
     emit_json(result, args.out)
     floor = args.gate

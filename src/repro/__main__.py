@@ -63,6 +63,8 @@ def _build_engine_config(args) -> EngineConfig | None:
         kwargs["auto_fit_chunks"] = False
     if getattr(args, "extend_mode", None):
         kwargs["extend_mode"] = args.extend_mode
+    if getattr(args, "counting", None):
+        kwargs["counting"] = args.counting
     if getattr(args, "checkpoint_dir", None):
         kwargs["checkpoint_dir"] = args.checkpoint_dir
     if getattr(args, "checkpoint_every", None):
@@ -241,6 +243,15 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
              "at a time; counts and simulated measurements are "
              "bit-identical either way (docs/performance.md; "
              "default: batched)",
+    )
+    parser.add_argument(
+        "--counting", default=None, choices=["enumerate", "iep"],
+        help="counting strategy for count-only queries: 'enumerate' "
+             "materializes the full embedding tree, 'iep' replaces "
+             "eligible schedules' independent suffix with the "
+             "inclusion-exclusion terminal kernel; counts are "
+             "bit-identical either way (docs/performance.md; "
+             "default: enumerate)",
     )
 
 

@@ -32,7 +32,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.recovery import FailureSummary, Outcome, split_roots
 from repro.obs import NULL_OBS, Observability, Span, names
-from repro.patterns.schedule import Schedule
+from repro.patterns.schedule import Schedule, compile_counting_plan
 
 #: Multi-pattern UDF: (pattern index, prefix vertices, candidates).
 MultiUdf = Callable[[int, tuple[int, ...], np.ndarray], None]
@@ -71,6 +71,14 @@ class EngineConfig:
     #: "scalar" keeps the per-embedding reference path. Counts and all
     #: simulated measurements are bit-identical either way.
     extend_mode: str = "batched"
+    #: counting strategy for count-only queries (no UDF): "enumerate"
+    #: materializes every level of the embedding tree; "iep" replaces
+    #: the pairwise-unconstrained suffix of eligible schedules with the
+    #: inclusion-exclusion terminal kernel (docs/performance.md).
+    #: Counts are bit-identical either way; schedules without an
+    #: eligible plan (labeled, induced, suffix < 2) silently fall back
+    #: to enumeration.
+    counting: str = "enumerate"
     #: simulated-seconds budget per machine; None = no timeout
     time_budget: Optional[float] = None
     #: injected faults for this engine's runs (docs/faults.md);
@@ -100,6 +108,11 @@ class EngineConfig:
             raise ConfigurationError(
                 "extend_mode must be 'batched' or 'scalar', "
                 f"got {self.extend_mode!r}"
+            )
+        if self.counting not in ("enumerate", "iep"):
+            raise ConfigurationError(
+                "counting must be 'enumerate' or 'iep', "
+                f"got {self.counting!r}"
             )
         if self.checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be >= 1")
@@ -171,6 +184,7 @@ class KhuzdulEngine:
         """Enumerate one pattern; returns the report with ``counts: int``."""
         counts, report = self._execute([schedule], _wrap_single(udf),
                                        system, app, graph_name)
+        counts = self._finalize_counts([schedule], counts, udf)
         report.counts = counts[0]
         return report
 
@@ -192,8 +206,29 @@ class KhuzdulEngine:
         """
         counts, report = self._execute(list(schedules), udf,
                                        system, app, graph_name)
+        counts = self._finalize_counts(schedules, counts, udf)
         report.counts = counts
         return report
+
+    def _finalize_counts(
+        self, schedules: Sequence[Schedule], counts: list[int], udf
+    ) -> list[int]:
+        """Fold IEP symmetry divisors into raw plan numerators.
+
+        Everything below :meth:`run`/:meth:`run_many` — schedulers,
+        checkpoints, process-backend workers, recovery replays — tallies
+        the restriction-free numerator (each partial sum stays an exact
+        integer, so re-executed or resumed shards merge by addition).
+        The single exact division per query happens here, after every
+        backend path has converged.
+        """
+        if self.config.counting != "iep" or udf is not None:
+            return counts
+        for index, schedule in enumerate(schedules):
+            plan = compile_counting_plan(schedule)
+            if plan is not None and plan.divisor > 1:
+                counts[index] //= plan.divisor
+        return counts
 
     # ------------------------------------------------------------------
     def _execute(
@@ -445,9 +480,29 @@ class KhuzdulEngine:
             for index, schedule in enumerate(schedules):
                 if failure is not None:
                     break
+                # IEP counting plan (docs/performance.md): eligible
+                # count-only schedules enumerate only the plan's prefix
+                # pattern and drain complete prefixes through the
+                # inclusion-exclusion terminal kernel. compile returns
+                # None for ineligible schedules — those enumerate as
+                # usual, so a mixed run_many works per pattern.
+                iep_plan = None
+                if config.counting == "iep" and udf is None:
+                    iep_plan = compile_counting_plan(schedule)
+                extender_schedule = (
+                    schedule if iep_plan is None
+                    else iep_plan.prefix_schedule
+                )
                 chunk_bytes = config.chunk_bytes
                 if config.auto_fit_chunks:
-                    levels = max(1, schedule.pattern.num_vertices - 2)
+                    if iep_plan is None:
+                        levels = max(1, schedule.pattern.num_vertices - 2)
+                    else:
+                        # the DFS stack only ever holds prefix levels
+                        levels = max(
+                            1,
+                            extender_schedule.pattern.num_vertices - 1,
+                        )
                     headroom = config.memory_headroom_bytes(
                         cluster.config.memory_bytes, levels
                     )
@@ -516,7 +571,7 @@ class KhuzdulEngine:
                         cluster=cluster,
                         machine=machine,
                         extender=ScheduleExtender(
-                            schedule,
+                            extender_schedule,
                             vcs=config.vcs,
                             metrics=machine_scopes[mid],
                         ),
@@ -534,6 +589,7 @@ class KhuzdulEngine:
                         faults=injector,
                         transport=transport,
                         batched_extend=(config.extend_mode == "batched"),
+                        iep_plan=iep_plan,
                         checkpoint_sink=(
                             _make_shard_sink(checkpoint_sink, index, shard)
                             if checkpoint_sink is not None

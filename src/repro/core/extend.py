@@ -26,7 +26,7 @@ from repro.core import kernels
 from repro.graph.graph import Graph
 from repro.obs import names
 from repro.obs.metrics import MetricsScope, scope_or_null
-from repro.patterns.schedule import ExtensionStep, Schedule
+from repro.patterns.schedule import CountingPlan, ExtensionStep, Schedule
 
 #: Application callback: receives the embedding prefix (matching-order
 #: positions 0..n-2) and the array of final vertices completing it.
@@ -140,6 +140,13 @@ def _filter_edge_labels(
     search into the CSR slice.
     """
     assert step.edge_labels is not None
+    if graph.edge_labels is None:
+        # same branch as the batched kernel (kernels.extend_chunk): an
+        # unlabeled graph satisfies exactly the all-zero requirement,
+        # regardless of which per-source label slices exist
+        if any(required != 0 for required in step.edge_labels):
+            return candidates[:0]
+        return candidates
     for position, required in zip(step.connected, step.edge_labels):
         if not len(candidates):
             break
@@ -153,6 +160,58 @@ def _filter_edge_labels(
         offsets = np.searchsorted(nbrs, candidates)
         candidates = candidates[label_slice[offsets] == required]
     return candidates
+
+
+def _is_neighbor(graph: Graph, source: int, candidate: int) -> bool:
+    """Sorted-CSR membership probe (scalar analogue of the bulk
+    :func:`~repro.core.kernels.adjacency_member`)."""
+    nbrs = graph.neighbors(source)
+    pos = int(np.searchsorted(nbrs, candidate))
+    return pos < len(nbrs) and int(nbrs[pos]) == candidate
+
+
+def iep_count(
+    graph: Graph, plan: CountingPlan, vertices: tuple[int, ...]
+) -> tuple[int, int, int]:
+    """Scalar reference for the IEP terminal kernel.
+
+    Evaluates one prefix embedding's counting plan: returns
+    ``(count, merge_elements, scanned)``, element-identical to the
+    embedding's row of :func:`repro.core.kernels.iep_chunk` — the same
+    sequential intersection from each signature's first column (no
+    probe-direction flip) and the same ``running + degree`` merge
+    charge per stage, which is what keeps simulated accounting
+    bit-identical across ``--extend-mode`` under ``--counting iep``.
+    """
+    prefix_size = len(vertices)
+    merge_elements = 0
+    scanned = 0
+    cards: dict[tuple[int, ...], int] = {}
+    for signature in plan.signatures:
+        if len(signature) == 1:
+            card = int(graph.degree(vertices[signature[0]]))
+        else:
+            base = graph.neighbors(vertices[signature[0]])
+            for column in signature[1:]:
+                other = graph.neighbors(vertices[column])
+                merge_elements += len(base) + len(other)
+                base = np.intersect1d(base, other, assume_unique=True)
+            card = len(base)
+            scanned += card
+        for column in range(prefix_size):
+            if all(
+                _is_neighbor(graph, vertices[source], vertices[column])
+                for source in signature
+            ):
+                card -= 1
+        cards[signature] = card
+    count = 0
+    for term in plan.terms:
+        value = term.coefficient
+        for block in term.blocks:
+            value *= cards[block]
+        count += value
+    return count, merge_elements, scanned
 
 
 class ScheduleExtender:
@@ -187,6 +246,14 @@ class ScheduleExtender:
         self._m_k_probe = metrics.counter(names.KERNEL_PROBE_ELEMENTS)
         self._m_k_count_only = metrics.counter(
             names.KERNEL_COUNT_ONLY_BATCHES
+        )
+        self._m_iep_batches = metrics.counter(names.KERNEL_IEP_BATCHES)
+        self._m_iep_embeddings = metrics.counter(
+            names.KERNEL_IEP_EMBEDDINGS
+        )
+        self._m_iep_terms = metrics.counter(names.KERNEL_IEP_TERMS)
+        self._m_iep_probe = metrics.counter(
+            names.KERNEL_IEP_PROBE_ELEMENTS
         )
 
     @property
@@ -267,6 +334,46 @@ class ScheduleExtender:
         if count_only:
             self._m_k_count_only.inc()
         return batch
+
+    def iep_chunk(
+        self,
+        graph: Graph,
+        plan: CountingPlan,
+        items: list,
+        level: int,
+    ) -> kernels.ChunkIepResult:
+        """Evaluate the IEP counting plan over a chunk of complete
+        prefix embeddings (level ``plan.prefix_schedule``'s last
+        position). Mirrors :meth:`extend_chunk`'s prefix assembly; the
+        ``extend.*`` accounting is deferred to the scheduler's
+        :meth:`account_count_only` fold, and only the batched-only
+        ``kernel.iep.*`` counters are emitted here.
+        """
+        n = len(items)
+        prefixes = np.empty((n, level + 1), dtype=np.int64)
+        nodes = items
+        for column in range(level, -1, -1):
+            prefixes[:, column] = [node.vertex for node in nodes]
+            if column:
+                nodes = [node.parent for node in nodes]
+        batch = kernels.iep_chunk(graph, plan, prefixes)
+        self._m_iep_batches.inc()
+        self._m_iep_embeddings.inc(n)
+        self._m_iep_terms.inc(len(plan.terms) * n)
+        self._m_iep_probe.inc(batch.probe_elements)
+        return batch
+
+    def iep_embedding(
+        self, graph: Graph, plan: CountingPlan, vertices: tuple[int, ...]
+    ) -> tuple[int, int, int]:
+        """Scalar-mode IEP evaluation of one prefix embedding.
+
+        No ``kernel.iep.*`` increments — those counters are
+        batched-only, matching the ``kernel.*`` split on the
+        enumeration path; ``extend.*`` accounting happens via the
+        scheduler's :meth:`account_count_only` fold.
+        """
+        return iep_count(graph, plan, vertices)
 
     def take_batch_result(
         self, batch: kernels.ChunkExtendResult, index: int

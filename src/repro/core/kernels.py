@@ -46,13 +46,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.graph.graph import Graph
-from repro.patterns.schedule import ExtensionStep
+from repro.patterns.schedule import CountingPlan, ExtensionStep
 
 __all__ = [
     "ChunkExtendResult",
+    "ChunkIepResult",
     "adjacency_member",
     "adjacency_position",
     "extend_chunk",
+    "iep_chunk",
     "intersect_sorted",
     "setdiff_sorted",
 ]
@@ -397,6 +399,104 @@ def _extend_group(
         step, final_counts, merge_elements, scanned,
         values, offsets, raw_values, raw_offsets, False, probe_elements,
     )
+
+
+# ---------------------------------------------------------------------
+# the inclusion-exclusion terminal kernel (docs/performance.md)
+# ---------------------------------------------------------------------
+@dataclass
+class ChunkIepResult:
+    """Per-embedding IEP evaluation of one chunk of complete prefixes.
+
+    ``counts`` are the ordered distinct suffix tuples per prefix
+    embedding (plan numerators — the caller divides the global sum by
+    ``plan.divisor``); ``merge_elements``/``scanned`` are the simulated
+    accounting quantities, element-identical to the scalar reference
+    :func:`~repro.core.extend.iep_count`.
+    """
+
+    counts: np.ndarray  # (n,) int64 suffix tuples (numerator units)
+    merge_elements: np.ndarray  # (n,) elements streamed through set ops
+    scanned: np.ndarray  # (n,) intersection elements handed to the terms
+    probe_elements: int  # elements pushed through membership probes
+
+
+def iep_chunk(
+    graph: Graph, plan: CountingPlan, prefixes: np.ndarray
+) -> ChunkIepResult:
+    """Evaluate a counting plan over a whole chunk of prefix embeddings.
+
+    For each distinct intersection signature ``D`` the kernel computes
+    ``card(D) = |N(v_{D[0]}) ∩ ... ∩ N(v_{D[-1]})|`` minus the prefix
+    vertices inside the intersection, for every row of ``prefixes`` at
+    once — ``neighbors_batch`` gathers the first column's lists, each
+    further column is one bulk :func:`adjacency_member` probe, and no
+    candidate array is ever materialized per term. The plan's merged
+    inclusion-exclusion terms then combine the cardinalities into the
+    per-embedding suffix-tuple counts.
+
+    Accounting mirrors the enumeration kernels: every membership-probe
+    stage charges ``running + degree`` merge elements per embedding
+    (the same direction-independent expression as the scalar
+    ``np.intersect1d`` reference, with no probe-side flip), and each
+    multi-column signature's pre-subtraction cardinality lands in
+    ``scanned``. Cardinalities are exact in int64; the products are
+    bounded by ``max_degree ** suffix_size``, far inside int64 for
+    every graph this engine hosts.
+    """
+    prefixes = np.asarray(prefixes, dtype=np.int64)
+    if prefixes.ndim != 2:
+        raise ValueError("prefixes must be a 2-D (embeddings, prefix) array")
+    n = prefixes.shape[0]
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return ChunkIepResult(empty, empty.copy(), empty.copy(), 0)
+    prefix_size = prefixes.shape[1]
+    degrees = graph.degrees()
+    merge_elements = np.zeros(n, dtype=np.int64)
+    scanned = np.zeros(n, dtype=np.int64)
+    probe_elements = 0
+    cards: dict[tuple[int, ...], np.ndarray] = {}
+    for signature in plan.signatures:
+        if len(signature) == 1:
+            card = degrees[prefixes[:, signature[0]]].astype(np.int64)
+        else:
+            values, offsets = graph.neighbors_batch(
+                prefixes[:, signature[0]]
+            )
+            counts = np.diff(offsets).astype(np.int64)
+            emb_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+            for column in signature[1:]:
+                sources = prefixes[:, column]
+                merge_elements += counts + degrees[sources]
+                probe_elements += len(values)
+                member = adjacency_member(
+                    graph, np.repeat(sources, counts), values
+                )
+                values, _, counts, emb_of = _compress(
+                    values, emb_of, member, n
+                )
+            card = counts
+            scanned += card
+        # distinct-vertex correction: prefix vertices that fall inside
+        # the intersection are not valid suffix candidates
+        for column in range(prefix_size):
+            inside = np.ones(n, dtype=bool)
+            for source_column in signature:
+                inside &= adjacency_member(
+                    graph,
+                    prefixes[:, source_column],
+                    prefixes[:, column],
+                )
+            card = card - inside
+        cards[signature] = card
+    totals = np.zeros(n, dtype=np.int64)
+    for term in plan.terms:
+        value = np.full(n, term.coefficient, dtype=np.int64)
+        for block in term.blocks:
+            value *= cards[block]
+        totals += value
+    return ChunkIepResult(totals, merge_elements, scanned, probe_elements)
 
 
 def _stitch(

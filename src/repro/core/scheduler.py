@@ -44,6 +44,7 @@ from repro.errors import MachineCrashError, SimTimeoutError
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import Checkpoint
 from repro.obs import NULL_OBS, Observability, Span, names
+from repro.patterns.schedule import CountingPlan
 
 #: UDF signature: (prefix vertices, completing candidates array).
 Udf = Callable[[tuple[int, ...], np.ndarray], None]
@@ -127,6 +128,7 @@ class MachineScheduler:
         transport=None,
         batched_extend: bool = True,
         checkpoint_sink: Optional[Callable] = None,
+        iep_plan: Optional[CountingPlan] = None,
     ):
         self.cluster = cluster
         self.machine = machine
@@ -177,6 +179,13 @@ class MachineScheduler:
         #: to the parent). Observation only — simulated accounting and
         #: counts are identical with or without a sink.
         self.checkpoint_sink = checkpoint_sink
+        #: inclusion-exclusion counting plan (docs/performance.md).
+        #: When set, ``extender`` was compiled from
+        #: ``iep_plan.prefix_schedule`` and the final drain evaluates the
+        #: IEP formula instead of enumerating suffix candidates. The
+        #: tallied ``matches`` are the restriction-free *numerator*; the
+        #: engine divides by ``iep_plan.divisor`` once per query.
+        self.iep_plan = iep_plan
         self.checkpoints_taken = 0
         self.matches = 0
         self.chunks_created = 0
@@ -272,7 +281,7 @@ class MachineScheduler:
     def run(self, roots: np.ndarray) -> int:
         """Explore all embedding trees rooted at ``roots``; returns matches."""
         pattern_size = self.extender.schedule.pattern.num_vertices
-        if pattern_size == 1:
+        if pattern_size == 1 and self.iep_plan is None:
             self.matches += len(roots)
             self._m_matches.inc(len(roots))
             seconds = len(roots) * self.cost.emit_per_candidate
@@ -286,7 +295,10 @@ class MachineScheduler:
             self._take_checkpoint(len(roots))
             return self.matches
 
-        root_needs_fetch = self.extender.schedule.root_active()
+        root_needs_fetch = self.extender.schedule.root_active() or (
+            self.iep_plan is not None
+            and 0 in self.iep_plan.fetch_positions
+        )
         root_iter = iter(roots)
         try:
             while True:
@@ -323,7 +335,13 @@ class MachineScheduler:
         return chunk
 
     def _explore_from(self, root_chunk: Chunk) -> None:
-        final_extend_level = self.extender.final_level - 1
+        if self.iep_plan is not None:
+            # the extender only builds the plan's prefix embeddings;
+            # chunks of *complete* prefixes (level == final_level) drain
+            # through the IEP terminal kernel instead of extending
+            final_extend_level = self.extender.final_level
+        else:
+            final_extend_level = self.extender.final_level - 1
         stack = [_LevelState(root_chunk, self.chunks_created,
                              self.machine.clock.total())]
         self._charge_chunk_setup(stack[-1], len(root_chunk.items))
@@ -336,7 +354,10 @@ class MachineScheduler:
                 self._check_budget()
                 continue
             if state.chunk.level >= final_extend_level:
-                self._drain_final(state)
+                if self.iep_plan is not None:
+                    self._drain_final_iep(state)
+                else:
+                    self._drain_final(state)
                 continue
             next_chunk = self._fill_next_chunk(state)
             if next_chunk is None:
@@ -351,6 +372,21 @@ class MachineScheduler:
     # ------------------------------------------------------------------
     # extension
     # ------------------------------------------------------------------
+    def _needs_edge_list(self, position: int) -> bool:
+        """Whether position ``position``'s edge list must be resolved.
+
+        Under an IEP plan, prefix positions whose neighbor lists feed an
+        intersection signature need their edge lists even when the
+        prefix schedule's own extension steps never read them — the
+        terminal kernel does.
+        """
+        if (
+            self.iep_plan is not None
+            and position in self.iep_plan.fetch_positions
+        ):
+            return True
+        return self.extender.needs_edge_list(position)
+
     def _ensure_batch(
         self, state: _LevelState, level: int, count_only: bool
     ):
@@ -386,7 +422,7 @@ class MachineScheduler:
         """Extend parents from ``state`` until the child chunk fills."""
         level = state.chunk.level
         child_level = level + 1
-        needs_fetch = self.extender.needs_edge_list(child_level)
+        needs_fetch = self._needs_edge_list(child_level)
         self._register_chunk()
         chunk = Chunk(child_level, self.chunk_bytes, self.machine,
                       preallocate=True)
@@ -486,6 +522,62 @@ class MachineScheduler:
         state.compute_serial = compute_serial
         # integer tallies fold exactly, so the counters can be bumped
         # once for the whole drained chunk
+        self.extender.account_count_only(processed, total_merge, total_count)
+        if total_count:
+            self.matches += total_count
+            self._m_matches.inc(total_count)
+
+    def _ensure_iep_batch(self, state: _LevelState, level: int):
+        """The chunk's batched IEP evaluation, computed on first touch
+        (lazy for the same crash/timeout reasons as :meth:`_ensure_batch`)."""
+        if state.batch is None:
+            state.batch = self.extender.iep_chunk(
+                self.graph, self.iep_plan, state.chunk.items, level
+            )
+        return state.batch
+
+    def _drain_final_iep(self, state: _LevelState) -> None:
+        """IEP terminal drain: each complete prefix embedding's suffix
+        count comes from the inclusion-exclusion formula over
+        intersection cardinalities — no suffix candidates are ever
+        materialized. The batched and scalar paths charge identical
+        per-embedding terms (same expressions, same order, Python
+        ints), so every simulated measurement stays bit-identical
+        across ``--extend-mode``. Tallied counts are plan numerators;
+        the engine applies ``plan.divisor`` once per query."""
+        level = state.chunk.level
+        items = state.chunk.items
+        intersect = self.cost.intersect_per_element
+        emit = self.cost.emit_per_candidate
+        compute_serial = state.compute_serial
+        processed = total_merge = total_count = 0
+        if self.batched_extend:
+            batch = self._ensure_iep_batch(state, level)
+            merges = batch.merge_elements.tolist()
+            scans = batch.scanned.tolist()
+            counts = batch.counts.tolist()
+            while state.cursor < len(items):
+                index = state.cursor
+                state.cursor += 1
+                merge = merges[index]
+                processed += 1
+                total_merge += merge
+                total_count += counts[index]
+                compute_serial += merge * intersect + scans[index] * emit
+                items[index].mark_zombie()
+        else:
+            while state.cursor < len(items):
+                emb = items[state.cursor]
+                state.cursor += 1
+                count, merge, scanned = self.extender.iep_embedding(
+                    self.graph, self.iep_plan, emb.vertices()
+                )
+                processed += 1
+                total_merge += merge
+                total_count += count
+                compute_serial += merge * intersect + scanned * emit
+                emb.mark_zombie()
+        state.compute_serial = compute_serial
         self.extender.account_count_only(processed, total_merge, total_count)
         if total_count:
             self.matches += total_count

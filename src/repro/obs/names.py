@@ -79,6 +79,10 @@ KERNEL_BATCHES = "kernel.batches"
 KERNEL_BATCHED_EMBEDDINGS = "kernel.batched_embeddings"
 KERNEL_PROBE_ELEMENTS = "kernel.probe_elements"
 KERNEL_COUNT_ONLY_BATCHES = "kernel.count_only_batches"
+KERNEL_IEP_BATCHES = "kernel.iep.batches"
+KERNEL_IEP_EMBEDDINGS = "kernel.iep.embeddings"
+KERNEL_IEP_TERMS = "kernel.iep.terms"
+KERNEL_IEP_PROBE_ELEMENTS = "kernel.iep.probe_elements"
 
 # ---------------------------------------------------------------------
 # network (Section 4.3 / Figure 19)
@@ -220,6 +224,19 @@ SPECS: dict[str, MetricSpec] = dict(
         _spec(KERNEL_COUNT_ONLY_BATCHES, "counter", "chunks",
               "docs/performance.md",
               "final-level batches that took the count-only fast path"),
+        _spec(KERNEL_IEP_BATCHES, "counter", "chunks",
+              "docs/performance.md",
+              "prefix chunks evaluated by the IEP terminal kernel"),
+        _spec(KERNEL_IEP_EMBEDDINGS, "counter", "embeddings",
+              "docs/performance.md",
+              "prefix embeddings counted via inclusion-exclusion"),
+        _spec(KERNEL_IEP_TERMS, "counter", "terms",
+              "docs/performance.md",
+              "IEP formula terms evaluated across batched embeddings"),
+        _spec(KERNEL_IEP_PROBE_ELEMENTS, "counter", "elements",
+              "docs/performance.md",
+              "elements pushed through bulk adjacency probes while "
+              "intersecting IEP signature sets"),
         _spec(NET_REQUESTS, "counter", "requests", "Fig 19",
               "edge-list fetch requests that crossed machines"),
         _spec(NET_PAYLOAD_BYTES, "counter", "bytes", "Fig 19",

@@ -50,6 +50,16 @@ def house() -> Pattern:
     return Pattern(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
 
 
+def bowtie() -> Pattern:
+    """Two triangles sharing a vertex (5 vertices, 6 edges)."""
+    return Pattern(5, [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)])
+
+
+def bull() -> Pattern:
+    """Triangle with two pendant horns (5 vertices, 5 edges)."""
+    return Pattern(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)])
+
+
 def motifs(k: int) -> list[Pattern]:
     """All connected size-``k`` patterns (the k-MC workloads).
 

@@ -20,10 +20,13 @@ Two generators mirror the two client systems:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from itertools import permutations
-from typing import Optional, Sequence
+from math import factorial
+from typing import Iterator, Optional, Sequence
 
 from repro.errors import ScheduleError
+from repro.patterns.isomorphism import automorphisms
 from repro.patterns.pattern import Pattern
 from repro.patterns.symmetry import symmetry_restrictions
 
@@ -118,6 +121,7 @@ def compile_schedule(
     order: Sequence[int],
     induced: bool = False,
     use_restrictions: bool = True,
+    restrictions: Optional[tuple[tuple[int, int], ...]] = None,
 ) -> Schedule:
     """Compile a matching order into a full :class:`Schedule`.
 
@@ -129,6 +133,10 @@ def compile_schedule(
     ``use_restrictions=False`` compiles without symmetry breaking — used
     when the input graph is already a degree-ordered DAG (orientation
     preprocessing finds each clique exactly once by construction).
+
+    ``restrictions`` overrides the pattern's own stabilizer chain with
+    an explicit pair set — the counting-plan compiler uses it to apply
+    only the chain levels that stay inside a plan's prefix positions.
     """
     if not pattern.is_connected():
         raise ScheduleError("pattern must be connected")
@@ -136,7 +144,10 @@ def compile_schedule(
     order = tuple(order)
     n = pattern.num_vertices
     position = {v: i for i, v in enumerate(order)}
-    restrictions = symmetry_restrictions(pattern) if use_restrictions else ()
+    if restrictions is None:
+        restrictions = (
+            symmetry_restrictions(pattern) if use_restrictions else ()
+        )
 
     connected_sets: list[frozenset[int]] = [frozenset()]
     disconnected_sets: list[frozenset[int]] = [frozenset()]
@@ -272,25 +283,46 @@ def _order_cost(
     order: tuple[int, ...],
     avg_degree: float,
     num_vertices: float,
+    induced: bool = False,
+    use_restrictions: bool = True,
+    counting: str = "enumerate",
 ) -> float:
     """GraphPi-style expected-cost model for one matching order.
 
     Expected candidate count of a level intersecting ``k`` lists is
     ``d * (d/n)^(k-1)``; each one-sided ordering restriction on the new
     vertex halves it. Cost of a level is (expected parents) x (merge
-    work), summed over levels.
+    work), summed over levels. Orders are costed exactly as they will
+    execute: induced mode pays for its exclusion merges and an
+    unrestricted compile gets no restriction halving (historically both
+    flags were dropped here, so ``graphpi_schedule`` scored every order
+    as a restricted non-induced run).
+
+    Under ``counting="iep"`` an order with an inclusion-exclusion plan
+    is charged its prefix enumeration plus one cardinality pass per
+    distinct intersection signature — never the suffix levels it will
+    not materialize.
     """
-    schedule = compile_schedule(pattern, order)
+    schedule = compile_schedule(pattern, order, induced, use_restrictions)
+    plan = compile_counting_plan(schedule) if counting == "iep" else None
+    steps = schedule.steps if plan is None else plan.prefix_schedule.steps
     d, n = avg_degree, num_vertices
     parents = 1.0  # expected embeddings alive at the previous level
     cost = 0.0
-    for step in schedule.steps:
+    for step in steps:
         k = max(1, len(step.connected))
         expected = d * (d / n) ** (k - 1)
         expected *= 0.5 ** (len(step.larger_than) + len(step.smaller_than))
-        merge_work = k * d  # elements streamed through the intersection
+        # elements streamed through the intersection, plus the induced
+        # exclusion merges against the disconnected positions
+        merge_work = (k + len(step.disconnected)) * d
         cost += parents * merge_work
         parents *= max(expected, 1e-9)
+    if plan is not None:
+        iep_work = sum(
+            max(1, len(signature)) * d for signature in plan.signatures
+        )
+        cost += parents * iep_work
     return cost
 
 
@@ -300,22 +332,240 @@ def graphpi_schedule(
     avg_degree: float = 16.0,
     num_vertices: float = 1.0e4,
     use_restrictions: bool = True,
+    counting: str = "enumerate",
 ) -> Schedule:
     """GraphPi-style schedule: exhaustive search over connected orders.
 
     Scores every connected-prefix matching order with the expected-
     cardinality model and compiles the cheapest (ties broken
-    lexicographically for determinism).
+    lexicographically for determinism). ``counting="iep"`` makes the
+    search prefer orders whose trailing independent set feeds the
+    inclusion-exclusion terminal kernel (docs/performance.md).
     """
     if pattern.num_vertices == 1:
         return compile_schedule(pattern, (0,), induced, use_restrictions)
     best_order: Optional[tuple[int, ...]] = None
     best_cost = float("inf")
     for order in _connected_orders(pattern):
-        cost = _order_cost(pattern, order, avg_degree, num_vertices)
+        cost = _order_cost(pattern, order, avg_degree, num_vertices,
+                           induced, use_restrictions, counting)
         if cost < best_cost or (cost == best_cost and (best_order is None or order < best_order)):
             best_cost = cost
             best_order = order
     if best_order is None:
         raise ScheduleError("no connected matching order exists")
     return compile_schedule(pattern, best_order, induced, use_restrictions)
+
+
+# ----------------------------------------------------------------------
+# counting plans (GraphPi's in-exclusion optimization)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IEPTerm:
+    """One inclusion-exclusion term: ``coefficient * prod(card(D))``.
+
+    Each block is an intersection *signature*: a sorted tuple of prefix
+    positions whose neighbor lists are intersected, with ``card(D)``
+    the intersection's cardinality after removing prefix vertices.
+    """
+
+    coefficient: int
+    blocks: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class CountingPlan:
+    """A count-only query with its last levels folded into a formula.
+
+    The suffix of the matching order whose vertices form an independent
+    set in the pattern is never enumerated: for every embedding of the
+    ``prefix_schedule`` the engine evaluates ``terms`` over the
+    cardinalities of the ``signatures`` intersections (one per distinct
+    block) and sums the results. Restrictions are applied through a
+    *partial* stabilizer chain — only the levels whose ordering pairs
+    stay inside the prefix — so the accumulated numerator is exactly
+    ``true_count * divisor``, corrected by one integer division at the
+    end of the run (``KhuzdulEngine`` does it after merging machines
+    and workers; per-shard numerators are not individually divisible).
+    """
+
+    schedule: Schedule
+    prefix_schedule: Schedule
+    suffix_size: int
+    #: remaining stabilizer-subgroup size: numerator / divisor = count
+    divisor: int
+    terms: tuple[IEPTerm, ...]
+    #: distinct block signatures, each evaluated once per embedding
+    signatures: tuple[tuple[int, ...], ...]
+    #: prefix positions whose edge lists the terminal kernel reads
+    fetch_positions: frozenset[int]
+
+
+def _set_partitions(items: tuple[int, ...]) -> Iterator[list[list[int]]]:
+    """All set partitions of ``items`` (Bell-number many)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        for index in range(len(partition)):
+            yield (
+                partition[:index]
+                + [[first] + partition[index]]
+                + partition[index + 1:]
+            )
+        yield [[first]] + partition
+
+
+def _independent_suffix(pattern: Pattern, order: tuple[int, ...]) -> int:
+    """Length of the maximal trailing pairwise-unconnected suffix."""
+    n = pattern.num_vertices
+    start = n
+    while start > 1:
+        candidate = order[start - 1]
+        if any(
+            pattern.has_edge(candidate, order[j]) for j in range(start, n)
+        ):
+            break
+        start -= 1
+    return n - start
+
+
+def _partial_restrictions(
+    pattern: Pattern, order: tuple[int, ...], prefix_size: int
+) -> tuple[tuple[tuple[int, int], ...], int]:
+    """Stabilizer-chain levels whose pairs stay inside the prefix.
+
+    Mirrors :func:`symmetry_restrictions` level by level but stops at
+    the first level that would order a suffix position (the IEP formula
+    counts suffix tuples without ordering constraints). Returns the
+    accepted pattern-vertex pairs and the size of the remaining
+    subgroup — the plan's exact over-counting divisor: each embedding's
+    orbit retains ``divisor`` of its members under the partial pairs.
+    """
+    position = {v: i for i, v in enumerate(order)}
+    current = list(automorphisms(pattern))
+    pairs: list[tuple[int, int]] = []
+    while len(current) > 1:
+        moved = [
+            v
+            for v in range(pattern.num_vertices)
+            if any(perm[v] != v for perm in current)
+        ]
+        pivot = min(moved)
+        level_pairs = []
+        for perm in current:
+            image = perm[pivot]
+            if image != pivot and (pivot, image) not in level_pairs:
+                level_pairs.append((pivot, image))
+        if any(
+            position[a] >= prefix_size or position[b] >= prefix_size
+            for a, b in level_pairs
+        ):
+            break
+        for pair in level_pairs:
+            if pair not in pairs:
+                pairs.append(pair)
+        current = [perm for perm in current if perm[pivot] == pivot]
+    return tuple(sorted(pairs)), len(current)
+
+
+@lru_cache(maxsize=512)
+def compile_counting_plan(schedule: Schedule) -> Optional[CountingPlan]:
+    """Fold ``schedule``'s independent suffix into IEP terms, if it can.
+
+    Returns ``None`` — fall back to plain enumeration — unless the
+    query is count-only-compatible: non-induced, unlabeled, and with at
+    least two trailing matching-order positions that are pairwise
+    unconnected in the pattern. For an eligible schedule the ordered
+    distinct suffix tuples of one prefix embedding number::
+
+        sum over set partitions P of the suffix positions:
+            prod over blocks B of P:
+                (-1)^(|B|-1) * (|B|-1)! * card(union of constraints of B)
+
+    where ``card(D)`` is ``|intersection of N(v_j) for j in D|`` minus
+    the prefix vertices that fall inside it (distinct-vertex
+    correction). Terms with identical block multisets are merged.
+    """
+    pattern = schedule.pattern
+    if schedule.induced:
+        return None
+    if pattern.labels is not None or pattern.edge_labels is not None:
+        return None
+    full = symmetry_restrictions(pattern)
+    if schedule.restrictions not in (full, ()):
+        return None
+    suffix_size = _independent_suffix(pattern, schedule.order)
+    if suffix_size < 2:
+        return None
+    n = pattern.num_vertices
+    prefix_size = n - suffix_size
+    order = schedule.order
+    position = {v: i for i, v in enumerate(order)}
+
+    if schedule.restrictions == full:
+        pairs, divisor = _partial_restrictions(pattern, order, prefix_size)
+    else:
+        # compiled without symmetry breaking (orientation mode): the
+        # numerator already is the ordered count the caller expects
+        pairs, divisor = (), 1
+    prefix_restrictions = tuple(
+        sorted((position[a], position[b]) for a, b in pairs)
+    )
+    prefix_edges = [
+        (i, j)
+        for i in range(prefix_size)
+        for j in range(i)
+        if pattern.has_edge(order[i], order[j])
+    ]
+    prefix_pattern = Pattern(prefix_size, prefix_edges)
+    prefix_schedule = compile_schedule(
+        prefix_pattern,
+        tuple(range(prefix_size)),
+        induced=False,
+        restrictions=prefix_restrictions,
+    )
+
+    # per-suffix-position constraint sets (always within the prefix:
+    # suffix positions are pairwise unconnected, so every connected
+    # earlier position of a connected-prefix order sits before them)
+    constraints = {
+        level: schedule.steps[level - 1].connected
+        for level in range(prefix_size, n)
+    }
+    merged: dict[tuple[tuple[int, ...], ...], int] = {}
+    suffix_positions = tuple(range(prefix_size, n))
+    for partition in _set_partitions(suffix_positions):
+        coefficient = 1
+        blocks = []
+        for block in partition:
+            coefficient *= (-1) ** (len(block) - 1) * factorial(
+                len(block) - 1
+            )
+            signature = set()
+            for level in block:
+                signature.update(constraints[level])
+            blocks.append(tuple(sorted(signature)))
+        key = tuple(sorted(blocks))
+        merged[key] = merged.get(key, 0) + coefficient
+    terms = tuple(
+        IEPTerm(coefficient, blocks)
+        for blocks, coefficient in sorted(merged.items())
+        if coefficient != 0
+    )
+    signatures = tuple(
+        sorted({block for term in terms for block in term.blocks})
+    )
+    fetch_positions = frozenset(
+        pos for signature in signatures for pos in signature
+    )
+    return CountingPlan(
+        schedule=schedule,
+        prefix_schedule=prefix_schedule,
+        suffix_size=suffix_size,
+        divisor=divisor,
+        terms=terms,
+        signatures=signatures,
+        fetch_positions=fetch_positions,
+    )

@@ -76,6 +76,11 @@ def add_serve_parser(sub) -> None:
                        help="default engine chunk budget in bytes")
     serve.add_argument("--extend-mode", default=None,
                        choices=["batched", "scalar"])
+    serve.add_argument("--counting", default=None,
+                       choices=["enumerate", "iep"],
+                       help="default counting strategy for count-only "
+                            "queries (a query may override; "
+                            "docs/performance.md)")
     serve.add_argument("--metrics", default="off", choices=["off", "json"],
                        help="'json' streams one QueryReport JSON line "
                             "per query on stdout (outcome lines move to "
@@ -128,6 +133,7 @@ def cmd_serve(args) -> int:
             time_budget=args.time_budget,
             chunk_bytes=args.chunk_bytes,
             extend_mode=args.extend_mode,
+            counting=args.counting,
         )
         if args.input:
             try:

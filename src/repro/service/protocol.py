@@ -57,6 +57,10 @@ def parse_pattern_spec(spec: str) -> Pattern:
             return fn(int(spec[len(prefix):]))
     if spec == "house":
         return catalog.house()
+    if spec == "bowtie":
+        return catalog.bowtie()
+    if spec == "bull":
+        return catalog.bull()
     if spec == "tailed_triangle":
         return catalog.tailed_triangle()
     if "-" in spec:
@@ -102,6 +106,9 @@ class QueryRequest:
     time_budget: Optional[float] = None
     chunk_bytes: Optional[int] = None
     extend_mode: Optional[str] = None
+    #: counting strategy (docs/performance.md); None inherits the
+    #: server default
+    counting: Optional[str] = None
     #: deterministic test hook (docs/service.md): ``sleep:<s>`` stalls
     #: the executor for wall-clock seconds, ``exit`` makes a serving
     #: *worker process* die mid-query (ignored on the in-process lane)
@@ -140,6 +147,11 @@ class QueryRequest:
             raise ConfigurationError(
                 f"extend_mode must be 'batched' or 'scalar', "
                 f"got {self.extend_mode!r}"
+            )
+        if self.counting not in (None, "enumerate", "iep"):
+            raise ConfigurationError(
+                f"counting must be 'enumerate' or 'iep', "
+                f"got {self.counting!r}"
             )
         if self.chaos is not None:
             ok = self.chaos == "exit"

@@ -100,6 +100,7 @@ class ServiceConfig:
     time_budget: Optional[float] = None
     chunk_bytes: Optional[int] = None
     extend_mode: Optional[str] = None
+    counting: Optional[str] = None
 
     def __post_init__(self):
         if self.graph not in DATASETS:
@@ -144,6 +145,11 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"extend_mode must be 'batched' or 'scalar', "
                 f"got {self.extend_mode!r}"
+            )
+        if self.counting not in (None, "enumerate", "iep"):
+            raise ConfigurationError(
+                f"counting must be 'enumerate' or 'iep', "
+                f"got {self.counting!r}"
             )
 
     def cluster_config(self) -> ClusterConfig:

@@ -82,6 +82,9 @@ class QueryExecutor:
         extend_mode = request.extend_mode or self.config.extend_mode
         if extend_mode:
             kwargs["extend_mode"] = extend_mode
+        counting = request.counting or self.config.counting
+        if counting:
+            kwargs["counting"] = counting
         return EngineConfig(**kwargs)
 
     # ------------------------------------------------------------------

@@ -6,9 +6,14 @@ Triangle Counting (TC), k-Clique Counting (k-CC), and k-Motif Counting
 
 from __future__ import annotations
 
+from functools import lru_cache
+from itertools import permutations
+
 from repro.core.runtime import RunReport
 from repro.patterns.canonical import canonical_code
 from repro.patterns.catalog import clique, motifs, triangle
+from repro.patterns.isomorphism import automorphisms
+from repro.patterns.pattern import Pattern
 from repro.systems.base import GPMSystem
 
 
@@ -30,8 +35,72 @@ def motif_count(system: GPMSystem, k: int) -> RunReport:
     matching orders.
     """
     patterns = motifs(k)
-    report = system.count_patterns(patterns, induced=True, app=f"{k}-MC")
+    counting = getattr(
+        getattr(system, "engine_config", None), "counting", "enumerate"
+    )
+    if counting == "iep":
+        # IEP plans require non-induced matching (the formula counts
+        # over neighbor-list cardinalities, which cannot express
+        # forbidden edges). Count every motif non-induced — where the
+        # IEP terminal kernel applies — and convert the census to
+        # vertex-induced counts with the exact integer overcount
+        # matrix. Bit-identical to the induced=True route.
+        report = system.count_patterns(patterns, induced=False,
+                                       app=f"{k}-MC")
+        counts = _induced_motif_counts(tuple(patterns),
+                                       tuple(report.counts))
+    else:
+        report = system.count_patterns(patterns, induced=True,
+                                       app=f"{k}-MC")
+        counts = report.counts
     report.counts = {
-        canonical_code(p): c for p, c in zip(patterns, report.counts)
+        canonical_code(p): c for p, c in zip(patterns, counts)
     }
     return report
+
+
+@lru_cache(maxsize=4096)
+def _spanning_copies(sub: Pattern, sup: Pattern) -> int:
+    """How many spanning subgraphs of ``sup`` are isomorphic to ``sub``.
+
+    Injective edge-preserving bijections divided by ``|Aut(sub)|`` —
+    exact: the orbit-stabilizer theorem guarantees the division has no
+    remainder. Pattern sizes are tiny (``k! <= 120`` for the motif
+    tiers), so brute force over permutations is fine.
+    """
+    k = sub.num_vertices
+    if k != sup.num_vertices:
+        return 0
+    embeddings = sum(
+        1
+        for perm in permutations(range(k))
+        if all(sup.has_edge(perm[u], perm[v]) for u, v in sub.edges)
+    )
+    return embeddings // len(automorphisms(sub))
+
+
+def _induced_motif_counts(
+    patterns: tuple[Pattern, ...], noninduced: tuple[int, ...]
+) -> list[int]:
+    """Solve the census conversion ``noninduced = C @ induced`` exactly.
+
+    Every non-induced occurrence of motif ``H`` lives on a vertex set
+    whose induced graph is some denser motif ``H'``, so
+    ``noninduced(H) = sum_{H'} spanning_copies(H, H') * induced(H')``.
+    The system is triangular in descending edge count
+    (``spanning_copies(H, H) == 1``; distinct same-size motifs
+    contribute zero), so back-substitution in Python ints is exact.
+    """
+    order = sorted(
+        range(len(patterns)),
+        key=lambda i: patterns[i].num_edges,
+        reverse=True,
+    )
+    induced = [0] * len(patterns)
+    for i in order:
+        total = noninduced[i]
+        for j in order:
+            if patterns[j].num_edges > patterns[i].num_edges:
+                total -= _spanning_copies(patterns[i], patterns[j]) * induced[j]
+        induced[i] = total
+    return induced

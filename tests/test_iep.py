@@ -1,0 +1,362 @@
+"""Inclusion-exclusion counting plans (docs/performance.md).
+
+The central contract: ``--counting iep`` is bit-identical to the
+enumeration oracle for every catalog pattern, on every graph, across
+both extend modes and both backends — the same equivalence class the
+batched/scalar kernel contract lives in. The IEP terminal kernel only
+changes *where* work happens, never what is counted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.engine import EngineConfig, KhuzdulEngine
+from repro.errors import ConfigurationError
+from repro.exec import ProcessBackend
+from repro.graph.generators import erdos_renyi, random_labels
+from repro.patterns import Pattern, automorphisms, catalog
+from repro.patterns.schedule import compile_counting_plan, graphpi_schedule
+from repro.patterns.symmetry import symmetry_restrictions
+from repro.systems import apps
+from repro.systems.graphpi import KGraphPi
+
+#: every named catalog pattern with <= 5 vertices
+CATALOG = {
+    "triangle": catalog.triangle(),
+    "clique4": catalog.clique(4),
+    "clique5": catalog.clique(5),
+    "chain3": catalog.chain(3),
+    "chain4": catalog.chain(4),
+    "chain5": catalog.chain(5),
+    "cycle4": catalog.cycle(4),
+    "cycle5": catalog.cycle(5),
+    "star2": catalog.star(2),
+    "star3": catalog.star(3),
+    "star4": catalog.star(4),
+    "tailed_triangle": catalog.tailed_triangle(),
+    "house": catalog.house(),
+    "bowtie": catalog.bowtie(),
+    "bull": catalog.bull(),
+}
+
+
+def _cluster(graph, machines=2):
+    return Cluster(graph, ClusterConfig(num_machines=machines))
+
+
+def _count(cluster, schedule, **config):
+    return KhuzdulEngine(cluster, EngineConfig(**config)).run(schedule).counts
+
+
+# ---------------------------------------------------------------------
+# plan compilation
+# ---------------------------------------------------------------------
+def test_star_plan_shape():
+    schedule = graphpi_schedule(catalog.star(3), counting="iep")
+    plan = compile_counting_plan(schedule)
+    assert plan is not None
+    assert plan.suffix_size == 3
+    # all 3! leaf orderings collapse into one restricted embedding
+    assert plan.divisor == len(automorphisms(catalog.star(3)))
+    assert plan.prefix_schedule.pattern.num_vertices == 1
+    # the set-partition expansion of 3 identical blocks has 3 terms
+    assert len(plan.terms) == 3
+    assert 0 in plan.fetch_positions
+
+
+def test_plan_rejects_ineligible_schedules():
+    # adjacent last two vertices: no independent suffix
+    assert compile_counting_plan(graphpi_schedule(catalog.triangle())) is None
+    # induced matching cannot be expressed as cardinalities
+    assert compile_counting_plan(
+        graphpi_schedule(catalog.star(3), induced=True)
+    ) is None
+    # labeled patterns fall back to enumeration
+    labeled = catalog.star(3).with_labels([0, 1, 1, 1])
+    assert compile_counting_plan(graphpi_schedule(labeled)) is None
+
+
+def test_plan_compiles_without_restrictions():
+    schedule = graphpi_schedule(
+        catalog.star(3), use_restrictions=False, counting="iep"
+    )
+    plan = compile_counting_plan(schedule)
+    assert plan is not None
+    assert schedule.restrictions == ()
+    assert plan.divisor == 1
+
+
+def test_counting_config_validated():
+    with pytest.raises(ConfigurationError):
+        EngineConfig(counting="magic")
+
+
+# ---------------------------------------------------------------------
+# bit-identity against the enumeration oracle
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(CATALOG), ids=sorted(CATALOG))
+@pytest.mark.parametrize("extend_mode", ["batched", "scalar"])
+def test_iep_matches_enumerate_catalog(
+    small_random_graph, name, extend_mode
+):
+    pattern = CATALOG[name]
+    cluster = _cluster(small_random_graph)
+    oracle = _count(cluster, graphpi_schedule(pattern))
+    schedule = graphpi_schedule(pattern, counting="iep")
+    assert _count(
+        cluster, schedule, counting="iep", extend_mode=extend_mode
+    ) == oracle
+    # the IEP-aware order must also agree under plain enumeration
+    assert _count(cluster, schedule) == oracle
+
+
+@pytest.mark.parametrize("name", ["star3", "chain4", "star4", "chain5"])
+def test_iep_on_labeled_graph(labeled_graph, name):
+    """Unlabeled patterns on a vertex-labeled graph still plan."""
+    pattern = CATALOG[name]
+    cluster = _cluster(labeled_graph)
+    schedule = graphpi_schedule(pattern, counting="iep")
+    assert compile_counting_plan(schedule) is not None
+    assert _count(cluster, schedule, counting="iep") == _count(
+        cluster, graphpi_schedule(pattern)
+    )
+
+
+def test_iep_unrestricted_matches_unrestricted_enumerate(
+    small_random_graph,
+):
+    """Without symmetry restrictions the numerator IS the count."""
+    cluster = _cluster(small_random_graph)
+    for pattern in (catalog.star(3), catalog.chain(4)):
+        schedule = graphpi_schedule(
+            pattern, use_restrictions=False, counting="iep"
+        )
+        assert _count(cluster, schedule, counting="iep") == _count(
+            cluster, graphpi_schedule(pattern, use_restrictions=False)
+        )
+
+
+def test_iep_seeded_er_sweep():
+    """Property sweep: several seeded graphs, every planning pattern."""
+    for seed in (1, 5, 9):
+        graph = erdos_renyi(40, 160, seed=seed)
+        cluster = _cluster(graph)
+        for name in ("star3", "chain4", "chain5", "star4"):
+            pattern = CATALOG[name]
+            schedule = graphpi_schedule(pattern, counting="iep")
+            assert compile_counting_plan(schedule) is not None, name
+            assert _count(cluster, schedule, counting="iep") == _count(
+                cluster, graphpi_schedule(pattern)
+            ), (name, seed)
+
+
+def test_iep_accounting_identical_across_extend_modes(small_random_graph):
+    """Simulated measurements match bit-for-bit, batched vs scalar."""
+    cluster = _cluster(small_random_graph)
+    for name in ("star3", "chain4", "chain5"):
+        schedule = graphpi_schedule(CATALOG[name], counting="iep")
+        engine_b = KhuzdulEngine(
+            cluster, EngineConfig(counting="iep", extend_mode="batched")
+        )
+        engine_s = KhuzdulEngine(
+            cluster, EngineConfig(counting="iep", extend_mode="scalar")
+        )
+        rb = engine_b.run(schedule)
+        rs = engine_s.run(schedule)
+        assert rb.counts == rs.counts
+        assert rb.simulated_seconds == rs.simulated_seconds
+        assert rb.breakdown == rs.breakdown
+
+
+def test_iep_process_backend_matches_inline(small_random_graph):
+    cluster = _cluster(small_random_graph)
+    for name in ("star3", "chain5"):
+        schedule = graphpi_schedule(CATALOG[name], counting="iep")
+        inline = _count(cluster, schedule, counting="iep")
+        engine = KhuzdulEngine(
+            cluster,
+            EngineConfig(counting="iep"),
+            backend=ProcessBackend(workers=2),
+        )
+        assert engine.run(schedule).counts == inline
+
+
+# ---------------------------------------------------------------------
+# new 5-vertex patterns: the restricted x |Aut| invariant
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "pattern", [catalog.bowtie(), catalog.bull()], ids=["bowtie", "bull"]
+)
+def test_new_pattern_restriction_factor(small_random_graph, pattern):
+    assert symmetry_restrictions(pattern) != ()
+    cluster = _cluster(small_random_graph)
+    restricted = _count(cluster, graphpi_schedule(pattern))
+    unrestricted = _count(
+        cluster, graphpi_schedule(pattern, use_restrictions=False)
+    )
+    assert unrestricted == restricted * len(automorphisms(pattern))
+
+
+# ---------------------------------------------------------------------
+# motif census tiers
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("k", [3, 4, 5])
+def test_motif_census_iep_equals_enumerate(small_random_graph, k):
+    config = ClusterConfig(num_machines=2)
+    census_e = apps.motif_count(
+        KGraphPi(small_random_graph, config, EngineConfig()), k
+    ).counts
+    census_i = apps.motif_count(
+        KGraphPi(small_random_graph, config,
+                 EngineConfig(counting="iep")), k
+    ).counts
+    assert census_e == census_i
+    assert len(census_i) == len(catalog.motifs(k))
+
+
+def test_motif_census_totals_are_nonnegative(small_random_graph):
+    """The back-substituted induced counts can never dip below zero."""
+    config = ClusterConfig(num_machines=2)
+    census = apps.motif_count(
+        KGraphPi(small_random_graph, config, EngineConfig(counting="iep")),
+        5,
+    ).counts
+    assert all(count >= 0 for count in census.values())
+
+
+# ---------------------------------------------------------------------
+# satellite pin: _order_cost threads induced/use_restrictions/counting
+# ---------------------------------------------------------------------
+def test_order_cost_threads_execution_flags():
+    """Orders must be costed as they will execute. Before the fix,
+    ``_order_cost`` always compiled candidates with the default
+    ``induced=False, use_restrictions=True``, so these pairs chose the
+    same order regardless of the flags."""
+    # restriction-halving off changes the winner for symmetric cycles
+    assert (
+        graphpi_schedule(catalog.cycle(4), use_restrictions=False).order
+        != graphpi_schedule(catalog.cycle(4)).order
+    )
+    assert (
+        graphpi_schedule(catalog.cycle(5), use_restrictions=False).order
+        != graphpi_schedule(catalog.cycle(5)).order
+    )
+    # IEP costing prefers orders that leave an independent suffix
+    iep_order = graphpi_schedule(catalog.chain(4), counting="iep").order
+    assert iep_order != graphpi_schedule(catalog.chain(4)).order
+    assert compile_counting_plan(
+        graphpi_schedule(catalog.chain(4), counting="iep")
+    ) is not None
+
+
+# ---------------------------------------------------------------------
+# satellite pin: scalar/batched edge-label filter on unlabeled graphs
+# ---------------------------------------------------------------------
+@pytest.mark.parametrize("extend_mode", ["batched", "scalar"])
+def test_edge_labeled_pattern_on_unlabeled_graph(
+    small_random_graph, extend_mode
+):
+    """An unlabeled graph satisfies exactly the all-zero edge-label
+    requirement; scalar and batched must agree on both branches."""
+    cluster = _cluster(small_random_graph)
+    triangle = catalog.triangle()
+    nonzero = triangle.with_edge_labels(
+        {(0, 1): 1, (0, 2): 0, (1, 2): 0}
+    )
+    allzero = triangle.with_edge_labels(
+        {(0, 1): 0, (0, 2): 0, (1, 2): 0}
+    )
+    plain = _count(cluster, graphpi_schedule(triangle))
+    assert plain > 0
+    for pattern, expected in ((nonzero, 0), (allzero, plain)):
+        schedule = graphpi_schedule(pattern)
+        assert _count(
+            cluster, schedule, extend_mode=extend_mode
+        ) == expected
+
+
+def _brute_force_star3(graph) -> int:
+    degrees = graph.degrees()
+    total = 0
+    for v in range(graph.num_vertices):
+        d = int(degrees[v])
+        total += d * (d - 1) * (d - 2) // 6
+    return total
+
+
+def test_star_counts_against_closed_form(small_random_graph):
+    """IEP star counts equal the closed-form sum of C(deg, 3)."""
+    cluster = _cluster(small_random_graph)
+    schedule = graphpi_schedule(catalog.star(3), counting="iep")
+    assert _count(cluster, schedule, counting="iep") == _brute_force_star3(
+        small_random_graph
+    )
+
+
+def test_iep_metrics_emitted_only_on_batched_path(small_random_graph):
+    from repro.obs import Observability, names
+
+    cluster = _cluster(small_random_graph)
+    schedule = graphpi_schedule(catalog.star(3), counting="iep")
+    for mode, expect_batches in (("batched", True), ("scalar", False)):
+        obs = Observability()
+        engine = KhuzdulEngine(
+            cluster, EngineConfig(counting="iep", extend_mode=mode),
+            obs=obs,
+        )
+        engine.run(schedule)
+        batches = obs.registry.total(names.KERNEL_IEP_BATCHES)
+        embeddings = obs.registry.total(names.KERNEL_IEP_EMBEDDINGS)
+        if expect_batches:
+            assert batches > 0
+            assert embeddings > 0
+        else:
+            assert batches == 0
+            assert embeddings == 0
+
+
+def test_udf_queries_never_take_the_iep_path(small_random_graph):
+    """A real UDF consumes candidate arrays, so counting='iep' must
+    transparently enumerate."""
+    cluster = _cluster(small_random_graph)
+    seen = []
+
+    def udf(prefix, candidates):
+        seen.append((prefix, len(candidates)))
+
+    schedule = graphpi_schedule(catalog.star(3), counting="iep")
+    engine = KhuzdulEngine(cluster, EngineConfig(counting="iep"))
+    report = engine.run(schedule, udf=udf)
+    assert report.counts == sum(n for _, n in seen)
+    assert report.counts == _count(cluster, schedule, counting="iep")
+
+
+def test_run_many_mixes_planned_and_unplanned(small_random_graph):
+    """run_many under IEP: eligible schedules plan, the rest enumerate;
+    each count is still exact."""
+    cluster = _cluster(small_random_graph)
+    patterns = [catalog.triangle(), catalog.star(3), catalog.chain(4)]
+    schedules = [graphpi_schedule(p, counting="iep") for p in patterns]
+    oracle = [
+        _count(cluster, graphpi_schedule(p)) for p in patterns
+    ]
+    engine = KhuzdulEngine(cluster, EngineConfig(counting="iep"))
+    assert engine.run_many(schedules).counts == oracle
+
+
+def test_service_request_accepts_counting():
+    from repro.service.protocol import QueryRequest
+
+    QueryRequest(app="count", pattern="bowtie", counting="iep").validate()
+    QueryRequest(app="count", pattern="bull").validate()
+    with pytest.raises(ConfigurationError):
+        QueryRequest(app="count", counting="magic").validate()
+
+
+def test_new_patterns_shape():
+    assert catalog.bowtie().num_edges == 6
+    assert catalog.bull().num_edges == 5
+    assert len(automorphisms(catalog.bowtie())) == 8
+    assert len(automorphisms(catalog.bull())) == 2
