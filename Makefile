@@ -13,12 +13,12 @@ TIMEOUT_FLAGS := $(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && ech
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest $(TIMEOUT_FLAGS)
 
 .PHONY: test suite docs-check faults-check exec-check exec-faults-check \
-	chaos-check motif-check perf-check perf-bench perf-bench-motifs \
-	service-check bench
+	chaos-check motif-check storage-check perf-check perf-bench \
+	perf-bench-motifs perf-bench-scale service-check bench
 
 ## tier-1: full suite, then the docs/fault/backend/perf contracts
 test: suite docs-check faults-check exec-check exec-faults-check \
-	chaos-check motif-check perf-check service-check
+	chaos-check motif-check storage-check perf-check service-check
 
 suite:
 	$(PYTEST) -x -q
@@ -54,13 +54,21 @@ chaos-check:
 motif-check:
 	$(PYTEST) tests/test_iep.py -q
 
+## out-of-core storage suite (docs/storage.md): streaming-vs-eager
+## builder parity, store round-trip/corruption rejection, ram-vs-mmap
+## bit-identity across backends and extend modes, admission baseline
+storage-check:
+	$(PYTEST) tests/test_storage.py -q
+
 ## wall-clock perf gates: tiny-graph smoke (batched EXTEND never loses
-## to scalar, counts agree) plus the headline process-backend speedup
-## gate with its CPU-aware floor — >=2x over inline-batched at 4
-## workers given >=4 CPUs (docs/performance.md)
+## to scalar, counts agree), the headline process-backend speedup gate
+## with its CPU-aware floor — >=2x over inline-batched at 4 workers
+## given >=4 CPUs (docs/performance.md) — and the storage scale-sweep
+## smoke (mmap-over-ram wall ratio under its documented ceiling,
+## docs/storage.md)
 perf-check:
 	PYTHONPATH=src:. $(PYTHON) -m pytest $(TIMEOUT_FLAGS) \
-		benchmarks/bench_wallclock.py -q
+		benchmarks/bench_wallclock.py benchmarks/bench_scale.py -q
 
 ## full wall-clock sweep over the bundled datasets; writes
 ## BENCH_PR6.json (the >=3x wdc-triangle batched-over-scalar headline
@@ -75,6 +83,14 @@ perf-bench:
 perf-bench-motifs:
 	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_wallclock.py \
 		--motifs --out BENCH_PR9.json
+
+## full 10x/30x/100x out-of-core storage scale sweep; writes
+## BENCH_PR10.json — every decade's graph exceeds the resident cap,
+## counts are bit-identical ram-vs-mmap, and the gate holds the
+## mmap-over-ram penalty flat across decades (docs/storage.md)
+perf-bench-scale:
+	PYTHONPATH=src:. $(PYTHON) benchmarks/bench_scale.py \
+		--out BENCH_PR10.json --gate
 
 ## resident mining service: equivalence/admission/shutdown suite plus
 ## the latency/throughput load harness — one server answers a mixed

@@ -25,11 +25,10 @@ import sys
 from repro.analysis.experiments import EXPERIMENTS, run_experiment
 from repro.cluster import ClusterConfig
 from repro.core import EngineConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GraphFormatError
 from repro.faults import FaultPlan
 from repro.exec import BACKENDS, make_backend
-from repro.graph import dataset
-from repro.graph.datasets import DATASETS
+from repro.graph.datasets import DATASETS, load_dataset
 from repro.obs import Observability
 from repro.obs.render import render_metrics_json, render_metrics_table
 from repro.patterns.pattern import Pattern
@@ -78,8 +77,18 @@ def _build_engine_config(args) -> EngineConfig | None:
 
 
 def _build_system(args):
-    graph = dataset(args.graph, scale=args.scale,
-                    labeled=getattr(args, "labeled", False))
+    resident_mb = getattr(args, "resident_mb", None)
+    try:
+        graph = load_dataset(
+            args.graph, scale=args.scale,
+            labeled=getattr(args, "labeled", False),
+            storage=getattr(args, "storage", "ram"),
+            resident_cap_bytes=(
+                resident_mb << 20 if resident_mb else None
+            ),
+        )
+    except GraphFormatError as exc:
+        raise SystemExit(f"storage error: {exc}")
     cluster_kwargs = {}
     if getattr(args, "memory_kb", None):
         cluster_kwargs["memory_bytes"] = args.memory_kb << 10
@@ -154,6 +163,16 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--memory-kb", type=int, default=None,
                         help="per-machine memory budget in KiB "
                              "(default: the 64 MiB testbed analogue)")
+    parser.add_argument("--storage", default="ram",
+                        choices=["ram", "mmap", "auto"],
+                        help="graph storage backing: ram (resident "
+                             "arrays), mmap (out-of-core store file), "
+                             "or auto (mmap only when the graph "
+                             "exceeds --resident-mb; docs/storage.md)")
+    parser.add_argument("--resident-mb", type=int, default=None,
+                        metavar="MB",
+                        help="resident cap steering --storage auto "
+                             "(default: unlimited, auto stays in ram)")
     parser.add_argument("--system", default="k-automine",
                         choices=["k-automine", "k-graphpi"])
     parser.add_argument(

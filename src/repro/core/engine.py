@@ -788,6 +788,33 @@ class KhuzdulEngine:
                 ),
             }
             report.extra["recovery"] = dict(recovery_stats)
+        if graph.storage == "mmap":
+            # out-of-core runs price the static cache against the
+            # mapping: every cache miss is a gather the page cache may
+            # have to fault in, every hit provably avoided one
+            # (docs/storage.md)
+            builder_stats = getattr(graph, "builder_stats", None) or {}
+            report.extra["storage"] = {
+                "mode": graph.storage,
+                "mapped_bytes": graph.size_bytes(),
+                "spill_runs": int(builder_stats.get("spill_runs", 0)),
+                "merge_batches": int(builder_stats.get("merge_batches", 0)),
+                "page_miss_gathers": int(total_queries - total_hits),
+            }
+            if obs.registry.enabled:
+                storage_scope = obs.registry.scope()
+                storage_scope.gauge(names.STORAGE_MAPPED_BYTES).set(
+                    graph.size_bytes()
+                )
+                storage_scope.counter(names.STORAGE_SPILL_RUNS).inc(
+                    int(builder_stats.get("spill_runs", 0))
+                )
+                storage_scope.counter(names.STORAGE_MERGE_BATCHES).inc(
+                    int(builder_stats.get("merge_batches", 0))
+                )
+                storage_scope.counter(
+                    names.STORAGE_PAGE_MISS_GATHERS
+                ).inc(int(total_queries - total_hits))
         if hosted is not None:
             # raw cross-worker material the process backend needs to
             # reconstruct cluster-global fields; never present on

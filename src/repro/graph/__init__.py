@@ -13,31 +13,50 @@ from repro.graph.graph import Graph
 from repro.graph.builder import (
     from_edges,
     from_edge_array,
+    iter_edge_list_batches,
     read_edge_list,
     write_edge_list,
 )
 from repro.graph.generators import (
     erdos_renyi,
+    power_law_edge_batches,
     power_law_graph,
     random_labels,
 )
-from repro.graph.datasets import dataset, DATASETS, DatasetSpec
+from repro.graph.datasets import dataset, load_dataset, DATASETS, DatasetSpec
 from repro.graph.partition import HashPartitioner, PartitionedGraph
 from repro.graph.orientation import orient_by_degree
+from repro.graph.storage import (
+    MmapGraph,
+    build_store,
+    from_edge_batches,
+    open_store,
+    resolve_storage,
+    write_store,
+)
 
 __all__ = [
     "Graph",
+    "MmapGraph",
     "from_edges",
     "from_edge_array",
+    "from_edge_batches",
+    "iter_edge_list_batches",
     "read_edge_list",
     "write_edge_list",
     "erdos_renyi",
+    "power_law_edge_batches",
     "power_law_graph",
     "random_labels",
     "dataset",
+    "load_dataset",
     "DATASETS",
     "DatasetSpec",
     "HashPartitioner",
     "PartitionedGraph",
     "orient_by_degree",
+    "build_store",
+    "open_store",
+    "write_store",
+    "resolve_storage",
 ]

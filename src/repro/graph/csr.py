@@ -118,6 +118,28 @@ class SharedCsrHandle:
         ]
 
 
+@dataclass(frozen=True)
+class MmapCsrHandle:
+    """Picklable description of an mmap-backed graph (docs/storage.md).
+
+    The store file on shared disk plays the role shared memory plays
+    for in-RAM graphs: workers re-open the mapping read-only by path
+    instead of attaching segments, so there are no segments to create,
+    track, or unlink — :meth:`segment_names` is empty and the
+    durability manifest written for crash reaping stays valid (an
+    empty segment list is a no-op for the reaper). The fingerprint
+    (the store's header CRC) guards against the path being swapped
+    for a different graph between export and attach.
+    """
+
+    path: str
+    fingerprint: int
+    directed: bool
+
+    def segment_names(self) -> list[str]:
+        return []
+
+
 class SharedCsr:
     """An attached (or owned) set of shared CSR segments.
 
@@ -183,11 +205,24 @@ def _view(spec: _SegmentSpec,
 
 
 def share_csr(graph: Graph) -> SharedCsr:
-    """Export ``graph`` into shared memory; returns the owning handle.
+    """Export ``graph`` for worker processes; returns the owning handle.
 
-    The returned :class:`SharedCsr` *owns* the segments: call
-    :meth:`SharedCsr.unlink` when every worker is done with them.
+    In-RAM graphs are copied into shared-memory segments and the
+    returned :class:`SharedCsr` *owns* them: call
+    :meth:`SharedCsr.unlink` when every worker is done. An mmap-backed
+    graph (one carrying a ``store_path``) needs no export at all —
+    the store file *is* the shared medium — so the handle is a
+    path-only :class:`MmapCsrHandle`, there are no segments, and
+    close/unlink are no-ops.
     """
+    store_path = getattr(graph, "store_path", None)
+    if store_path is not None:
+        handle = MmapCsrHandle(
+            str(store_path),
+            int(getattr(graph, "fingerprint", 0)),
+            graph.directed,
+        )
+        return SharedCsr(handle, graph, [], owner=False)
     segments: list[shared_memory.SharedMemory] = []
     try:
         indptr_spec, seg = _export_array(graph.indptr, "indptr")
@@ -213,8 +248,26 @@ def share_csr(graph: Graph) -> SharedCsr:
     return shared
 
 
-def attach_csr(handle: SharedCsrHandle) -> SharedCsr:
-    """Map a graph exported by :func:`share_csr` in another process."""
+def attach_csr(handle) -> SharedCsr:
+    """Map a graph exported by :func:`share_csr` in another process.
+
+    Dispatches on the handle: shared-memory handles attach their
+    segments; :class:`MmapCsrHandle` re-opens the store file read-only
+    (rejecting a swapped/stale store by fingerprint), so the worker
+    path is identical either way — ``attach_csr(handle).graph``.
+    """
+    if isinstance(handle, MmapCsrHandle):
+        from repro.graph.storage import open_store
+
+        graph = open_store(handle.path)
+        if handle.fingerprint and graph.fingerprint != handle.fingerprint:
+            raise ConfigurationError(
+                f"{handle.path}: store fingerprint changed between "
+                f"export ({handle.fingerprint:#x}) and attach "
+                f"({graph.fingerprint:#x}); the store was rebuilt or "
+                f"replaced while workers were starting"
+            )
+        return SharedCsr(handle, graph, [], owner=False)
     segments: list[shared_memory.SharedMemory] = []
     try:
         specs = [handle.indptr, handle.indices]

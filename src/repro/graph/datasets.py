@@ -10,10 +10,14 @@ analogues together.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Optional
 
+from repro.errors import GraphFormatError
 from repro.graph.generators import power_law_graph, random_labels
 from repro.graph.graph import Graph
 
@@ -122,3 +126,50 @@ def dataset(name: str, scale: float = 1.0, labeled: bool = False) -> Graph:
             f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
         )
     return _build(name, scale, labeled)
+
+
+def store_directory() -> Path:
+    """Where on-disk dataset stores live: ``REPRO_STORE_DIR`` when set,
+    else a per-user directory under the system temp dir."""
+    configured = os.environ.get("REPRO_STORE_DIR")
+    if configured:
+        return Path(configured)
+    return Path(tempfile.gettempdir()) / f"repro-stores-{os.getuid()}"
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    labeled: bool = False,
+    storage: str = "ram",
+    resident_cap_bytes: Optional[int] = None,
+    store_dir: Optional[str | os.PathLike] = None,
+):
+    """Build the named analogue under the ``--storage`` policy.
+
+    ``ram`` is exactly :func:`dataset`. ``mmap`` materializes the same
+    graph into an on-disk store (cached under :func:`store_directory`,
+    keyed by name/scale/labeled) and reopens it memory-mapped; a cached
+    store that fails validation — stale version, truncation, a build
+    interrupted before the atomic rename — is rebuilt, never trusted.
+    ``auto`` resolves via :func:`repro.graph.storage.resolve_storage`
+    against ``resident_cap_bytes``.
+    """
+    from repro.graph.storage import open_store, resolve_storage, write_store
+
+    graph = dataset(name, scale=scale, labeled=labeled)
+    mode = resolve_storage(storage, graph.size_bytes(), resident_cap_bytes)
+    if mode == "ram":
+        return graph
+    directory = Path(store_dir) if store_dir is not None else store_directory()
+    label_tag = "labeled" if labeled else "plain"
+    path = directory / f"{name}-s{scale:g}-{label_tag}.kcsr"
+    if path.exists():
+        try:
+            cached = open_store(path)
+            if cached == graph:
+                return cached
+        except GraphFormatError:
+            pass  # stale/corrupt cache: fall through and rebuild
+    write_store(graph, path)
+    return open_store(path)

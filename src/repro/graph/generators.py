@@ -87,6 +87,56 @@ def power_law_graph(
     return from_edge_array(array, num_vertices=num_vertices)
 
 
+def power_law_weights(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.2,
+    max_degree: Optional[int] = None,
+) -> np.ndarray:
+    """The Chung-Lu endpoint distribution shared by
+    :func:`power_law_graph` and :func:`power_law_edge_batches`."""
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    if max_degree is not None:
+        expected = weights / weights.sum() * (2.0 * num_edges)
+        scale = np.minimum(1.0, max_degree / np.maximum(expected, 1e-12))
+        weights = weights * scale
+    return weights / weights.sum()
+
+
+def power_law_edge_batches(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.2,
+    max_degree: Optional[int] = None,
+    seed: int = 0,
+    batch_edges: int = 1 << 18,
+):
+    """Stream Chung-Lu candidate edges as bounded ``(m, 2)`` batches.
+
+    The feed for the out-of-core builder (docs/storage.md): exactly
+    ``num_edges`` endpoint pairs are drawn proportional to the
+    power-law weights and yielded in batches, *without* the Python-set
+    dedup loop of :func:`power_law_graph` — self-loops and duplicates
+    are left in the stream because the streaming builder's
+    external-sort pipeline drops them anyway, which is what makes
+    generation O(batch) memory at any scale. Deterministic for a given
+    seed, so the scale sweep's ram and mmap builds see an identical
+    stream. The realized simple-edge count lands slightly below
+    ``num_edges``, exactly as the eager generator's docstring warns.
+    """
+    probs = power_law_weights(num_vertices, num_edges, exponent, max_degree)
+    rng = np.random.default_rng(seed)
+    remaining = num_edges
+    batch_edges = max(1, batch_edges)
+    while remaining > 0:
+        need = min(batch_edges, remaining)
+        us = rng.choice(num_vertices, size=need, p=probs)
+        vs = rng.choice(num_vertices, size=need, p=probs)
+        yield np.stack([us, vs], axis=1).astype(np.int64)
+        remaining -= need
+
+
 def random_labels(
     graph: Graph, num_labels: int, seed: int = 0
 ) -> Graph:

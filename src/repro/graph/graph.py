@@ -53,6 +53,12 @@ class Graph:
     #: (bytes); |V|^2 above this falls back to composite-key probes
     DENSE_ADJACENCY_BYTES = 64 << 20
 
+    #: storage mode tag; :class:`repro.graph.storage.MmapGraph`
+    #: overrides this with ``"mmap"``. The kernels never look at it —
+    #: only byte-accounting layers (admission, ``storage.*`` metrics)
+    #: do, so storage selection stays out of ``core/``.
+    storage = "ram"
+
     def __init__(
         self,
         indptr: np.ndarray,

@@ -152,6 +152,14 @@ SERVICE_WORKERS = "service.workers"
 SERVICE_WORKER_DEATHS = "service.worker_deaths"
 
 # ---------------------------------------------------------------------
+# graph storage (docs/storage.md) — emitted only for mmap-backed runs
+# ---------------------------------------------------------------------
+STORAGE_MAPPED_BYTES = "storage.mapped_bytes"
+STORAGE_SPILL_RUNS = "storage.spill_runs"
+STORAGE_MERGE_BATCHES = "storage.merge_batches"
+STORAGE_PAGE_MISS_GATHERS = "storage.page_miss_gathers"
+
+# ---------------------------------------------------------------------
 # simulated-time attribution (Figure 15 categories)
 # ---------------------------------------------------------------------
 TIME_COMPUTE = "time.compute_seconds"
@@ -374,6 +382,21 @@ SPECS: dict[str, MetricSpec] = dict(
               "docs/service.md",
               "serving workers that died mid-query and were respawned "
               "(the query degrades to CRASHED, the server survives)"),
+        _spec(STORAGE_MAPPED_BYTES, "gauge", "bytes", "docs/storage.md",
+              "bytes of CSR arrays served from a read-only file "
+              "mapping instead of resident memory"),
+        _spec(STORAGE_SPILL_RUNS, "counter", "runs", "docs/storage.md",
+              "sorted runs the streaming builder spilled while "
+              "building the store backing this graph"),
+        _spec(STORAGE_MERGE_BATCHES, "counter", "batches",
+              "docs/storage.md",
+              "bounded merge steps the builder's k-way merge took "
+              "while writing the store backing this graph"),
+        _spec(STORAGE_PAGE_MISS_GATHERS, "counter", "queries",
+              "docs/storage.md",
+              "edge-list gathers that bypassed the static cache and "
+              "so priced a potential page fault on the mapping "
+              "(cache misses while mmap-backed; compare cache.hits)"),
         _spec(TIME_COMPUTE, "counter", "seconds", "Fig 15",
               "simulated seconds charged to computation"),
         _spec(TIME_SCHEDULER, "counter", "seconds", "Fig 15",

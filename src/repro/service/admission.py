@@ -66,6 +66,26 @@ def estimate_query_bytes(
     return num_machines * per_machine
 
 
+def resident_baseline_bytes(
+    graph_bytes: int,
+    storage: str,
+    cache_fraction: float = DEFAULT_CACHE_FRACTION,
+) -> int:
+    """Bytes the loaded graph pins in memory before any query runs.
+
+    A ``ram`` graph is resident in full. An ``mmap`` graph is *not* —
+    its arrays live in the page cache, reclaimable under pressure
+    (docs/storage.md) — so the baseline charges only the configured
+    cache/working-set fraction the engine would keep hot. This is what
+    lets a server mine a graph larger than ``--resident-mb`` under
+    ``--storage mmap`` while the same graph is rightly refused under
+    ``ram``.
+    """
+    if storage == "mmap":
+        return int(cache_fraction * graph_bytes)
+    return int(graph_bytes)
+
+
 class AdmissionController:
     """Charges query estimates against the resident cap."""
 

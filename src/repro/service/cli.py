@@ -55,6 +55,12 @@ def add_serve_parser(sub) -> None:
                        help="resident memory cap the admission "
                             "controller schedules against "
                             "(docs/service.md)")
+    serve.add_argument("--storage", default="ram",
+                       choices=["ram", "mmap", "auto"],
+                       help="graph storage backing: ram (resident), "
+                            "mmap (out-of-core store file), or auto "
+                            "(mmap when the graph exceeds the resident "
+                            "cap; docs/storage.md)")
     serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="directory for the shm ledger: a SIGKILLed "
                             "server's leaked segments are reaped by the "
@@ -126,6 +132,7 @@ def cmd_serve(args) -> int:
             system=args.system,
             workers=args.workers,
             resident_mb=args.resident_mb,
+            storage=args.storage,
             metrics=(args.metrics == "json"),
             checkpoint_dir=args.checkpoint_dir,
             heartbeat=args.heartbeat,
@@ -156,7 +163,8 @@ def cmd_serve(args) -> int:
         print(f"service: ready graph={hello['graph']} "
               f"scale={hello['scale']:g} machines={hello['machines']} "
               f"workers={hello['workers']} "
-              f"resident_mb={hello['resident_mb']}", flush=True)
+              f"resident_mb={hello['resident_mb']} "
+              f"storage={hello['storage']}", flush=True)
 
     def _raise_interrupt(signum, frame):
         raise KeyboardInterrupt

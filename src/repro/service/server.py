@@ -44,11 +44,14 @@ from repro.cluster.cluster import ClusterConfig
 from repro.exec.janitor import install_janitor, remove_janitor
 from repro.faults import durability
 from repro.faults.recovery import Outcome
-from repro.graph import dataset
 from repro.graph.csr import share_csr
-from repro.graph.datasets import DATASETS
+from repro.graph.datasets import DATASETS, load_dataset
 from repro.obs import Observability, names
-from repro.service.admission import AdmissionController, estimate_query_bytes
+from repro.service.admission import (
+    AdmissionController,
+    estimate_query_bytes,
+    resident_baseline_bytes,
+)
 from repro.service.jobqueue import PriorityJobQueue
 from repro.service.protocol import (
     SYSTEMS,
@@ -87,6 +90,10 @@ class ServiceConfig:
     workers: int = 0
     #: resident cap the admission controller schedules against
     resident_mb: int = 512
+    #: graph storage backing: ``ram`` | ``mmap`` | ``auto`` — ``auto``
+    #: goes out-of-core when the graph exceeds the resident cap
+    #: (docs/storage.md)
+    storage: str = "ram"
     #: per-query metrics snapshots + a server-lifetime registry
     metrics: bool = False
     #: directory for the shm ledger (SIGKILL leak recovery)
@@ -126,6 +133,11 @@ class ServiceConfig:
             raise ConfigurationError("workers must be >= 0")
         if self.resident_mb <= 0:
             raise ConfigurationError("resident_mb must be positive")
+        if self.storage not in ("ram", "mmap", "auto"):
+            raise ConfigurationError(
+                f"storage must be 'ram', 'mmap', or 'auto', "
+                f"got {self.storage!r}"
+            )
         if self.heartbeat <= 0:
             raise ConfigurationError("heartbeat must be positive")
         if self.drain_seconds <= 0:
@@ -283,14 +295,25 @@ class MiningServer:
             self.reaped_segments = durability.reap_stale_segments(
                 config.checkpoint_dir
             )
-        self.graph = dataset(config.graph, scale=config.scale,
-                             labeled=False)
-        baseline = self.graph.size_bytes()
+        self.graph = load_dataset(
+            config.graph, scale=config.scale, labeled=False,
+            storage=config.storage,
+            resident_cap_bytes=config.resident_cap_bytes,
+        )
+        # an mmap-backed graph is page-cache resident, not heap
+        # resident: its baseline charges only the engine's hot
+        # working-set fraction, which is what lets a graph bigger than
+        # the cap be served out-of-core (docs/storage.md)
+        baseline = resident_baseline_bytes(
+            self.graph.size_bytes(), self.graph.storage
+        )
         if baseline > config.resident_cap_bytes:
             raise ConfigurationError(
                 f"resident cap ({config.resident_mb} MiB) is smaller "
-                f"than the loaded graph ({baseline} bytes); no query "
-                f"could ever be admitted"
+                f"than the loaded graph's resident baseline "
+                f"({baseline} bytes); no query could ever be admitted "
+                f"(an over-cap graph can still be served with "
+                f"--storage mmap)"
             )
         self._admission = AdmissionController(
             config.resident_cap_bytes, baseline
@@ -376,6 +399,10 @@ class MiningServer:
             "system": self.config.system,
             "workers": self.config.workers,
             "resident_mb": self.config.resident_mb,
+            "storage": (
+                self.graph.storage if self.graph is not None
+                else self.config.storage
+            ),
             "baseline_bytes": (
                 self._admission.baseline_bytes if self._admission else 0
             ),
@@ -421,8 +448,11 @@ class MiningServer:
             )
         try:
             request.validate()
+            # the per-query cache charge scales with the *graph*, not
+            # the resident baseline — under mmap the baseline shrinks
+            # but each query's cache working set does not
             handle.estimate = estimate_query_bytes(
-                self._admission.baseline_bytes,
+                self.graph.size_bytes(),
                 request.arity(),
                 self.config.machines,
                 self.config.cluster_config().memory_bytes,
